@@ -1,0 +1,162 @@
+// Benchmark targets mirroring the paper's evaluation: one target per
+// table and figure (each runs that experiment at smoke scale and reports
+// pass/fail — use cmd/experiments for full-scale tables), plus true
+// micro-benchmarks of the public API's hot paths.
+//
+// Run the figure benches once each:
+//
+//	go test -bench 'BenchmarkFig|BenchmarkTable' -benchtime=1x
+//
+// and the micro-benches normally:
+//
+//	go test -bench 'BenchmarkMantle' -benchmem
+package mantle_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"mantle"
+	"mantle/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment at smoke scale per
+// iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	fn, ok := experiments.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	p := experiments.Params{
+		Out:   io.Discard,
+		RTT:   50 * time.Microsecond,
+		Quick: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Characterize(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig4aBreakdown(b *testing.B)   { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bContention(b *testing.B)  { benchExperiment(b, "fig4b") }
+func BenchmarkTable1RTTs(b *testing.B)       { benchExperiment(b, "tab1") }
+func BenchmarkTable2Deployment(b *testing.B) { benchExperiment(b, "tab2") }
+func BenchmarkFig10Apps(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11CDFs(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12ReadOps(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13Breakdown(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14DirMods(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15Breakdown(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16Ablation(b *testing.B)    { benchExperiment(b, "fig16") }
+func BenchmarkFig17Depth(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18K(b *testing.B)           { benchExperiment(b, "fig18") }
+func BenchmarkFig19aScale(b *testing.B)      { benchExperiment(b, "fig19a") }
+func BenchmarkFig19bClients(b *testing.B)    { benchExperiment(b, "fig19b") }
+func BenchmarkFig20Caching(b *testing.B)     { benchExperiment(b, "fig20") }
+func BenchmarkTable3Production(b *testing.B) { benchExperiment(b, "tab3") }
+
+// --- public API micro-benchmarks (zero-latency fabric: pure software
+// path costs of the Mantle implementation) ---
+
+func benchCluster(b *testing.B) (*mantle.Cluster, *mantle.Client) {
+	b.Helper()
+	cl, err := mantle.New(mantle.Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Stop)
+	c := cl.Client()
+	if err := c.MkdirAll("/a/b/c/d/e/f/g/h/i/j"); err != nil {
+		b.Fatal(err)
+	}
+	return cl, c
+}
+
+func BenchmarkMantleLookupDepth10(b *testing.B) {
+	_, c := benchCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Lookup("/a/b/c/d/e/f/g/h/i/j"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMantleCreate(b *testing.B) {
+	_, c := benchCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Create(fmt.Sprintf("/a/b/c/d/e/obj-%d", i), 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMantleStat(b *testing.B) {
+	_, c := benchCluster(b)
+	if _, err := c.Create("/a/b/c/d/e/f/g/h/i/j/obj", 1024); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Stat("/a/b/c/d/e/f/g/h/i/j/obj"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMantleMkdir(b *testing.B) {
+	_, c := benchCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Mkdir(fmt.Sprintf("/a/b/c/dir-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMantleRename(b *testing.B) {
+	_, c := benchCluster(b)
+	if err := c.Mkdir("/a/pp"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := "/a/pp", "/a/qq"
+		if i%2 == 1 {
+			src, dst = dst, src
+		}
+		if err := c.Rename(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMantleParallelStat(b *testing.B) {
+	cl, c := benchCluster(b)
+	if _, err := c.Create("/a/b/c/d/e/obj", 1024); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cc := cl.Client()
+		for pb.Next() {
+			if _, err := cc.Stat("/a/b/c/d/e/obj"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures against the four metadata services on the simulated cluster.
+//
+// Usage:
+//
+//	experiments [-run fig12,fig14] [-clients 256] [-per 30] [-rtt 200us] [-quick]
+//
+// With no -run flag every experiment executes in order. The ids match
+// the paper's table/figure numbers; see DESIGN.md §3 for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mantle/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		clients = flag.Int("clients", 256, "benchmark client concurrency")
+		per     = flag.Int("per", 30, "operations per client per measurement")
+		objects = flag.Int("objects", 40, "pre-populated objects per client")
+		depth   = flag.Int("depth", 10, "working directory depth")
+		rtt     = flag.Duration("rtt", 200*time.Microsecond, "simulated per-RPC round trip")
+		quick   = flag.Bool("quick", false, "tiny smoke-test scale")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.All() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var ids []string
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	p := experiments.Params{
+		Out:              os.Stdout,
+		RTT:              *rtt,
+		Clients:          *clients,
+		PerClient:        *per,
+		ObjectsPerClient: *objects,
+		Depth:            *depth,
+		Quick:            *quick,
+	}
+	if err := experiments.Run(ids, p); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

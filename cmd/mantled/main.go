@@ -1,0 +1,178 @@
+// Command mantled runs a Mantle deployment and exposes a COSS-style
+// RESTful HTTP gateway on the proxy layer, mirroring Figure 1 of the
+// paper: applications issue HTTP requests against object paths and the
+// (stateless) proxy resolves them through IndexNode and TafDB.
+//
+// API:
+//
+//	PUT    /ns/<path>             create an object (body = content; only
+//	                              its size is retained by the metadata
+//	                              service — the data plane is stubbed)
+//	GET    /ns/<path>             stat an object (JSON)
+//	GET    /ns/<path>?list=1      list a directory (JSON)
+//	DELETE /ns/<path>             delete an object
+//	DELETE /ns/<path>?dir=1       remove an empty directory
+//	POST   /ns/<path>?op=mkdir    create a directory (ancestors created)
+//	POST   /ns/<path>?op=rename&dst=/new/path   atomic directory rename
+//
+// Example:
+//
+//	mantled -addr :8080 &
+//	curl -X POST 'localhost:8080/ns/data/train?op=mkdir'
+//	curl -X PUT --data-binary @file 'localhost:8080/ns/data/train/s0'
+//	curl 'localhost:8080/ns/data/train?list=1'
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mantle"
+	"mantle/internal/fsck"
+)
+
+type server struct {
+	cl *mantle.Cluster
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", 8, "TafDB shards")
+		replicas = flag.Int("replicas", 3, "IndexNode replicas")
+		learners = flag.Int("learners", 0, "IndexNode learners")
+		follower = flag.Bool("follower-read", true, "serve lookups from followers")
+		rtt      = flag.Duration("rtt", 0, "simulated per-RPC round trip")
+		rpcAddr  = flag.String("rpc-addr", "", "optional binary-protocol listen address (mantle.Dial clients)")
+	)
+	flag.Parse()
+
+	cl, err := mantle.New(mantle.Config{
+		Shards: *shards, Replicas: *replicas, Learners: *learners,
+		FollowerRead: *follower, RTT: *rtt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+	s := &server{cl: cl}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ns/", s.handle)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		_ = cl.Core().Metrics().Write(w)
+	})
+	mux.HandleFunc("/fsck", func(w http.ResponseWriter, r *http.Request) {
+		rep := fsck.Check(cl.Core())
+		w.Header().Set("Content-Type", "application/json")
+		if !rep.OK() {
+			w.WriteHeader(http.StatusConflict)
+		}
+		_ = json.NewEncoder(w).Encode(rep)
+	})
+	if *rpcAddr != "" {
+		l, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("mantled: binary protocol on %s", *rpcAddr)
+		go func() { log.Println("rpc server:", mantle.Serve(l, cl)) }()
+	}
+	log.Printf("mantled: %d shards, %d replicas (+%d learners), listening on %s",
+		*shards, *replicas, *learners, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) handle(w http.ResponseWriter, r *http.Request) {
+	path := "/" + strings.TrimPrefix(r.URL.Path, "/ns/")
+	c := s.cl.Client()
+	start := time.Now()
+	var err error
+	var payload any
+	switch r.Method {
+	case http.MethodPut:
+		n, _ := io.Copy(io.Discard, r.Body)
+		var inf mantle.Info
+		inf, err = c.Create(path, n)
+		payload = inf
+	case http.MethodGet:
+		switch {
+		case r.URL.Query().Get("list") != "":
+			if limStr := r.URL.Query().Get("limit"); limStr != "" {
+				limit, _ := strconv.Atoi(limStr)
+				var page []mantle.Info
+				var next string
+				page, next, err = c.ListPage(path, r.URL.Query().Get("after"), limit)
+				w.Header().Set("X-Mantle-Next", next)
+				payload = page
+				break
+			}
+			payload, err = c.List(path)
+		case r.URL.Query().Get("dir") != "":
+			payload, err = c.StatDir(path)
+		default:
+			payload, err = c.Stat(path)
+		}
+	case http.MethodDelete:
+		if r.URL.Query().Get("dir") != "" {
+			err = c.Rmdir(path)
+		} else {
+			err = c.Delete(path)
+		}
+		payload = map[string]string{"deleted": path}
+	case http.MethodPost:
+		switch op := r.URL.Query().Get("op"); op {
+		case "mkdir":
+			err = c.MkdirAll(path)
+			payload = map[string]string{"created": path}
+		case "rename":
+			dst := r.URL.Query().Get("dst")
+			if dst == "" {
+				http.Error(w, "rename requires dst", http.StatusBadRequest)
+				return
+			}
+			err = c.Rename(path, dst)
+			payload = map[string]string{"renamed": path, "to": dst}
+		default:
+			http.Error(w, "unknown op "+op, http.StatusBadRequest)
+			return
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), statusOf(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Mantle-Latency", time.Since(start).String())
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, mantle.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, mantle.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, mantle.ErrNotEmpty), errors.Is(err, mantle.ErrLoop):
+		return http.StatusConflict
+	case errors.Is(err, mantle.ErrPermission):
+		return http.StatusForbidden
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mantle"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cl, err := mantle.New(mantle.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	s := &server{cl: cl}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ns/", s.handle)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func do(t *testing.T, method, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	var rdr *strings.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	} else {
+		rdr = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var payload map[string]any
+	if resp.Header.Get("Content-Type") == "application/json" {
+		_ = json.NewDecoder(resp.Body).Decode(&payload)
+	}
+	return resp, payload
+}
+
+func TestGatewayLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	base := ts.URL + "/ns"
+
+	resp, _ := do(t, http.MethodPost, base+"/data/train?op=mkdir", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mkdir status = %d", resp.StatusCode)
+	}
+	resp, payload := do(t, http.MethodPut, base+"/data/train/s0", "hello world")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status = %d", resp.StatusCode)
+	}
+	if payload["Size"].(float64) != 11 {
+		t.Fatalf("put size = %v", payload["Size"])
+	}
+	resp, payload = do(t, http.MethodGet, base+"/data/train/s0", "")
+	if resp.StatusCode != http.StatusOK || payload["Size"].(float64) != 11 {
+		t.Fatalf("get = %d %v", resp.StatusCode, payload)
+	}
+	resp, _ = do(t, http.MethodGet, base+"/data/train?list=1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodPost, base+"/data/train?op=rename&dst=/data/done", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rename status = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodGet, base+"/data/done/s0", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after rename = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodDelete, base+"/data/done/s0", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodDelete, base+"/data/done?dir=1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rmdir status = %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayErrors(t *testing.T) {
+	ts := newTestServer(t)
+	base := ts.URL + "/ns"
+
+	resp, _ := do(t, http.MethodGet, base+"/missing", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing stat = %d", resp.StatusCode)
+	}
+	// Duplicate object.
+	do(t, http.MethodPost, base+"/d?op=mkdir", "")
+	do(t, http.MethodPut, base+"/d/o", "x")
+	resp, _ = do(t, http.MethodPut, base+"/d/o", "x")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("dup put = %d", resp.StatusCode)
+	}
+	// rmdir of non-empty.
+	resp, _ = do(t, http.MethodDelete, base+"/d?dir=1", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("rmdir non-empty = %d", resp.StatusCode)
+	}
+	// rename without dst.
+	resp, _ = do(t, http.MethodPost, base+"/d?op=rename", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rename no dst = %d", resp.StatusCode)
+	}
+	// Unknown op.
+	resp, _ = do(t, http.MethodPost, base+"/d?op=zap", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op = %d", resp.StatusCode)
+	}
+	// Loop rename.
+	do(t, http.MethodPost, base+"/d/sub?op=mkdir", "")
+	resp, _ = do(t, http.MethodPost, base+"/d?op=rename&dst=/d/sub/x", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("loop rename = %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	cl, err := mantle.New(mantle.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	s := &server{cl: cl}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ns/", s.handle)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		_ = cl.Core().Metrics().Write(w)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	do(t, http.MethodPost, ts.URL+"/ns/m?op=mkdir", "")
+	do(t, http.MethodPut, ts.URL+"/ns/m/o", "data")
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"ops_create 1", "ops_mkdir 1", "latency_create_count 1", "tafdb_rows"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestGatewayPagination(t *testing.T) {
+	ts := newTestServer(t)
+	base := ts.URL + "/ns"
+	do(t, http.MethodPost, base+"/p?op=mkdir", "")
+	for i := 0; i < 7; i++ {
+		do(t, http.MethodPut, base+fmt.Sprintf("/p/o%d", i), "x")
+	}
+	resp, _ := do(t, http.MethodGet, base+"/p?list=1&limit=5", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("page status = %d", resp.StatusCode)
+	}
+	next := resp.Header.Get("X-Mantle-Next")
+	if next == "" {
+		t.Fatal("no continuation token")
+	}
+	resp, _ = do(t, http.MethodGet, base+"/p?list=1&limit=5&after="+next, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second page status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Mantle-Next") != "" {
+		t.Fatal("unexpected continuation on final page")
+	}
+}

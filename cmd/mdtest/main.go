@@ -1,0 +1,131 @@
+// Command mdtest is an mdtest-style metadata benchmark CLI, mirroring
+// how the paper drives its evaluation (§6.1): pick a system, an
+// operation, a concurrency, and a conflict mode; it populates a
+// namespace, runs the workload, and prints throughput, latency
+// percentiles, and the per-phase breakdown.
+//
+// Usage:
+//
+//	mdtest -system mantle -op mkdir -conflict shared -clients 256 -per 50
+//
+// Systems: mantle, tectonic, infinifs, locofs, dbtable (the legacy
+// distributed-transaction DBtable service).
+// Ops: lookup, create, delete, objstat, dirstat, mkdir, rmdir, dirrename.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mantle/internal/bench"
+	"mantle/internal/experiments"
+	"mantle/internal/types"
+	"mantle/internal/workload"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "mantle", "metadata system under test")
+		op       = flag.String("op", "objstat", "operation to benchmark")
+		conflict = flag.String("conflict", "exclusive", "exclusive|shared directory placement")
+		clients  = flag.Int("clients", 256, "client concurrency")
+		per      = flag.Int("per", 50, "operations per client")
+		objects  = flag.Int("objects", 40, "pre-populated objects per client")
+		depth    = flag.Int("depth", 10, "working directory depth")
+		rtt      = flag.Duration("rtt", 200*time.Microsecond, "simulated per-RPC round trip")
+	)
+	flag.Parse()
+
+	p := experiments.Params{
+		RTT: *rtt, Clients: *clients, PerClient: *per,
+		ObjectsPerClient: *objects, Depth: *depth,
+	}.WithDefaults()
+
+	opts := experiments.SystemOpts{}
+	if *system == "mantle" {
+		opts = experiments.DefaultMantleOpts()
+	}
+	s, ns, err := experiments.BuildPopulated(*system, p, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Stop()
+
+	shared := *conflict == "shared"
+	var fn bench.OpFunc
+	switch *op {
+	case "lookup":
+		fn = workload.LookupOp(s, ns)
+	case "create":
+		fn = workload.CreateOp(s, ns, "cli")
+	case "delete":
+		pre := bench.RunN(p.Clients, p.PerClient, workload.CreateOp(s, ns, "cli"))
+		if pre.Errors > 0 {
+			fatal(fmt.Errorf("pre-create for delete: %d errors", pre.Errors))
+		}
+		fn = workload.DeleteOp(s, ns, "cli")
+	case "objstat":
+		fn = workload.ObjStatOp(s, ns)
+	case "dirstat":
+		fn = workload.DirStatOp(s, ns)
+	case "mkdir":
+		if shared {
+			fn = workload.MkdirSOp(s, ns, "cli")
+		} else {
+			fn = workload.MkdirEOp(s, ns, "cli")
+		}
+	case "rmdir":
+		var mk bench.OpFunc
+		if shared {
+			mk = workload.MkdirSOp(s, ns, "cli")
+		} else {
+			mk = workload.MkdirEOp(s, ns, "cli")
+		}
+		pre := bench.RunN(p.Clients, p.PerClient, mk)
+		if pre.Errors > 0 {
+			fatal(fmt.Errorf("pre-mkdir for rmdir: %d errors", pre.Errors))
+		}
+		fn = workload.RmdirEOp(s, ns, "cli") // rmdir targets are the created dirs
+		if shared {
+			fatal(fmt.Errorf("rmdir -conflict shared is not supported (paper omits rmdir-s)"))
+		}
+	case "dirrename":
+		if err := workload.PrepareRenamePingPong(s, ns, p.Clients, "cli"); err != nil {
+			fatal(err)
+		}
+		if shared {
+			fn = workload.RenameSOp(s, ns, "cli")
+		} else {
+			fn = workload.RenameEOp(s, ns, "cli")
+		}
+	default:
+		fatal(fmt.Errorf("unknown op %q", *op))
+	}
+
+	res := bench.RunN(p.Clients, p.PerClient, fn)
+	mode := "-e"
+	if shared {
+		mode = "-s"
+	}
+	fmt.Printf("%s %s%s: %d clients x %d ops, wall %v\n",
+		*system, *op, mode, p.Clients, p.PerClient, res.Wall.Round(time.Millisecond))
+	fmt.Printf("  throughput : %s (%d ops, %d errors, %d retries)\n",
+		bench.Kops(res.Throughput), res.Ops, res.Errors, res.Retries)
+	fmt.Printf("  latency    : mean %v  p50 %v  p99 %v  max %v\n",
+		res.Latency.Mean().Round(time.Microsecond),
+		res.Latency.Quantile(0.5).Round(time.Microsecond),
+		res.Latency.Quantile(0.99).Round(time.Microsecond),
+		res.Latency.Max().Round(time.Microsecond))
+	fmt.Printf("  breakdown  : lookup %v  loopdetect %v  execute %v\n",
+		res.MeanPhase(types.PhaseLookup).Round(time.Microsecond),
+		res.MeanPhase(types.PhaseLoopDetect).Round(time.Microsecond),
+		res.MeanPhase(types.PhaseExecute).Round(time.Microsecond))
+	fmt.Printf("  RPCs/op    : %.1f\n", res.MeanRTTs())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdtest:", err)
+	os.Exit(1)
+}

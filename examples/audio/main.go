@@ -1,0 +1,97 @@
+// Audio: the paper's AI audio pre-processing workload (§6.2) on the
+// public API — tasks stat input objects on deep paths and write
+// second-long segment objects into private output directories. The
+// workload is conflict-free and lookup-heavy, so it showcases Mantle's
+// single-RPC path resolution and the TopDirPathCache.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mantle"
+)
+
+const (
+	inputs           = 128
+	segmentsPerInput = 6
+	workers          = 16
+	depthPrefix      = "/datalake/audio/raw/2026/07/crawl/fleet/batch"
+)
+
+func main() {
+	cl, err := mantle.New(mantle.Config{
+		Shards:       8,
+		Replicas:     3,
+		FollowerRead: true,
+		RTT:          100_000, // 100µs network
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+	c := cl.Client()
+
+	// Populate deep input paths (depth ~10, like the paper's traces).
+	if err := c.MkdirAll(depthPrefix); err != nil {
+		log.Fatal(err)
+	}
+	inputPaths := make([]string, inputs)
+	for i := range inputPaths {
+		inputPaths[i] = fmt.Sprintf("%s/clip-%04d.wav", depthPrefix, i)
+		if _, err := c.Create(inputPaths[i], 4<<20); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := c.MkdirAll("/datalake/audio/segments"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("processing %d inputs (%d segments each) over %d workers...\n",
+		inputs, segmentsPerInput, workers)
+	var statRTTs atomic.Int64
+	start := time.Now()
+	queue := make(chan int, inputs)
+	for i := 0; i < inputs; i++ {
+		queue <- i
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := cl.Client()
+			outDir := fmt.Sprintf("/datalake/audio/segments/worker-%d", w)
+			if err := wc.Mkdir(outDir); err != nil {
+				log.Fatal(err)
+			}
+			for i := range queue {
+				_, st, err := wc.StatWithStats(inputPaths[i])
+				if err != nil {
+					log.Fatal(err)
+				}
+				statRTTs.Add(int64(st.RTTs))
+				for sg := 0; sg < segmentsPerInput; sg++ {
+					seg := fmt.Sprintf("%s/clip-%04d-seg-%d.pcm", outDir, i, sg)
+					if _, err := wc.Create(seg, 256<<10); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("pipeline complete in %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  metadata ops          : %d stats + %d creates\n",
+		inputs, inputs*segmentsPerInput)
+	fmt.Printf("  mean RPCs per objstat : %.1f (deep paths, single-RPC lookup + 1 read)\n",
+		float64(statRTTs.Load())/float64(inputs))
+	fmt.Printf("  throughput            : %.0f metadata ops/s\n",
+		float64(inputs*(1+segmentsPerInput))/elapsed.Seconds())
+}

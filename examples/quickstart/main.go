@@ -1,0 +1,79 @@
+// Quickstart: spin up an in-process Mantle deployment, exercise the
+// public API, and print the single-RPC lookup property the paper is
+// built around.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mantle"
+)
+
+func main() {
+	// A development deployment: 3-replica IndexNode, 4 TafDB shards, and
+	// a 100µs simulated network so op costs are visible.
+	cl, err := mantle.New(mantle.Config{
+		Shards:   4,
+		Replicas: 3,
+		RTT:      100_000, // 100µs in nanoseconds
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+	c := cl.Client()
+
+	// Build a deep hierarchy — the paper's namespaces average depth ~11.
+	deep := "/prod/ml/vision/2026/07/04/run-42/checkpoints/epoch-3/shard-0"
+	if err := c.MkdirAll(deep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("created", deep)
+
+	// Objects live at the leaves.
+	for i := 0; i < 3; i++ {
+		path := fmt.Sprintf("%s/weights-%d.bin", deep, i)
+		if _, err := c.Create(path, int64(1<<20*(i+1))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Stat an object: one IndexNode lookup RPC + one TafDB RPC,
+	// regardless of how deep the path is.
+	info, stats, err := c.StatWithStats(deep + "/weights-0.bin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stat %s: size=%d\n", info.Path, info.Size)
+	fmt.Printf("  cost: %d RPC round trips (lookup %v, execute %v)\n",
+		stats.RTTs, stats.Lookup, stats.Execute)
+
+	// Pure path resolution is a single RPC (Figure 7 of the paper).
+	ls, err := c.Lookup(deep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lookup depth-%d path: %d RPC (the paper's headline property)\n", 10, ls.RTTs)
+
+	// List and rename the checkpoint directory atomically.
+	kids, err := c.List(deep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s holds %d objects\n", deep, len(kids))
+
+	if err := c.Rename("/prod/ml/vision/2026/07/04/run-42/checkpoints/epoch-3",
+		"/prod/ml/vision/2026/07/04/run-42/checkpoints/final"); err != nil {
+		log.Fatal(err)
+	}
+	moved := "/prod/ml/vision/2026/07/04/run-42/checkpoints/final/shard-0/weights-0.bin"
+	if _, err := c.Stat(moved); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rename moved the whole subtree:", moved, "resolves")
+
+	// Loops are rejected by IndexNode's single-RPC loop detection.
+	err = c.Rename("/prod/ml", "/prod/ml/vision/loop")
+	fmt.Println("loop rename rejected:", err != nil)
+}

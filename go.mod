@@ -1,0 +1,3 @@
+module mantle
+
+go 1.22

@@ -1,0 +1,72 @@
+package infinifs
+
+import (
+	"testing"
+
+	"mantle/internal/api"
+	"mantle/internal/baselines/dbtable"
+	"mantle/internal/conformance"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Caps{LoopDetection: true}, func(t *testing.T) api.Service {
+		return New(Config{Store: dbtable.Config{Shards: 4}})
+	})
+}
+
+func TestConformanceWithAMCache(t *testing.T) {
+	conformance.Run(t, conformance.Caps{LoopDetection: true}, func(t *testing.T) api.Service {
+		return New(Config{Store: dbtable.Config{Shards: 4}, AMCache: true})
+	})
+}
+
+func TestParallelLookupRPCCount(t *testing.T) {
+	s := New(Config{Store: dbtable.Config{Shards: 4}})
+	defer s.Stop()
+	if err := conformance.MkdirAll(s, "/a/b/c/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	op := s.Caller().Begin()
+	if _, err := s.Lookup(op, "/a/b/c/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	// Parallel resolution issues the same number of RPCs as sequential
+	// (the paper's point: it does not reduce RPC count, only overlaps
+	// latency).
+	if op.RTTs() != 5 {
+		t.Fatalf("lookup RTTs = %d, want 5", op.RTTs())
+	}
+}
+
+func TestAMCacheHitSkipsRPCs(t *testing.T) {
+	s := New(Config{Store: dbtable.Config{Shards: 4}, AMCache: true})
+	defer s.Stop()
+	if err := conformance.MkdirAll(s, "/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	op1 := s.Caller().Begin()
+	if _, err := s.Lookup(op1, "/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	op2 := s.Caller().Begin()
+	if _, err := s.Lookup(op2, "/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if op2.RTTs() != 0 {
+		t.Fatalf("cached lookup RTTs = %d, want 0", op2.RTTs())
+	}
+	// Rename invalidates the cached subtree.
+	if err := conformance.MkdirAll(s, "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DirRename(s.Caller().Begin(), "/a/b", "/dst/b2"); err != nil {
+		t.Fatal(err)
+	}
+	op3 := s.Caller().Begin()
+	if _, err := s.Lookup(op3, "/dst/b2/c"); err != nil {
+		t.Fatal(err)
+	}
+	if op3.RTTs() == 0 {
+		t.Fatal("lookup served stale cache after rename")
+	}
+}

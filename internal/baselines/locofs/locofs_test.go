@@ -1,0 +1,36 @@
+package locofs
+
+import (
+	"testing"
+
+	"mantle/internal/api"
+	"mantle/internal/conformance"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Caps{LoopDetection: true}, func(t *testing.T) api.Service {
+		s, err := New(Config{Voters: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+func TestSingleRPCLookup(t *testing.T) {
+	s, err := New(Config{Voters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if err := conformance.MkdirAll(s, "/a/b/c/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	op := s.Caller().Begin()
+	if _, err := s.Lookup(op, "/a/b/c/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	if op.RTTs() != 1 {
+		t.Fatalf("lookup RTTs = %d, want 1 (tiered dir server)", op.RTTs())
+	}
+}

@@ -1,0 +1,93 @@
+package tectonic
+
+import (
+	"mantle/internal/rpc"
+	"mantle/internal/storage"
+	"mantle/internal/txn"
+	"mantle/internal/types"
+)
+
+// The legacy DBtable transaction paths (Config.DistributedTxn): directory
+// mutations run as two-phase-commit transactions spanning the entry's
+// shard and the parent-attribute row's shard, with in-place attribute
+// updates under exclusive row locks. Under shared-directory contention
+// these transactions abort and retry — the Figure 4b collapse of the
+// pre-Mantle Baidu service.
+
+// legacyTwoPiece builds a transaction touching the entry shard and the
+// parent-attribute shard (merged when colocated) and runs it with retry.
+func (s *Service) legacyTwoPiece(op *rpc.Op, entryPid types.InodeID, entryMuts []storage.Mutation,
+	parentKey types.Key, delta storage.AttrDelta) (int, error) {
+
+	entryShard := s.store.ShardFor(entryPid)
+	attrShard := s.store.ShardFor(parentKey.Pid)
+	return s.store.RunTxn(op, func(int) ([]txn.Piece, error) {
+		attrMut := storage.Mutation{
+			Kind: storage.MutDeltaAttr, Key: parentKey, Delta: delta, MustExist: true,
+		}
+		entryPiece := txn.Piece{P: entryShard, Muts: entryMuts}
+		if entryShard == attrShard {
+			entryPiece.Muts = append(append([]storage.Mutation(nil), entryMuts...), attrMut)
+			return []txn.Piece{entryPiece}, nil
+		}
+		return []txn.Piece{entryPiece, {P: attrShard, Muts: []storage.Mutation{attrMut}}}, nil
+	})
+}
+
+// legacyInsert transactionally inserts entry under parent and bumps the
+// parent's attribute row (mkdir / create).
+func (s *Service) legacyInsert(op *rpc.Op, parent types.Entry, entry types.Entry, delta storage.AttrDelta) (int, error) {
+	return s.legacyTwoPiece(op, parent.ID, []storage.Mutation{{
+		Kind: storage.MutPut, Key: types.Key{Pid: parent.ID, Name: entry.Name},
+		Entry: entry, IfAbsent: true,
+	}}, parentRowKey(parent), delta)
+}
+
+// legacyDelete transactionally removes (parent, name) and decrements the
+// parent's attribute row (rmdir / delete).
+func (s *Service) legacyDelete(op *rpc.Op, parent types.Entry, name string, delta storage.AttrDelta, kind types.EntryKind) (int, error) {
+	return s.legacyTwoPiece(op, parent.ID, []storage.Mutation{{
+		Kind: storage.MutDelete, Key: types.Key{Pid: parent.ID, Name: name},
+		MustExist: true, WantKind: kind,
+	}}, parentRowKey(parent), delta)
+}
+
+// legacyRename transactionally moves the entry and updates both parents'
+// attribute rows in a single distributed transaction.
+func (s *Service) legacyRename(op *rpc.Op, spe, dpe types.Entry, srcName, dstName string, moved types.Entry) (int, error) {
+	return s.store.RunTxn(op, func(int) ([]txn.Piece, error) {
+		byShard := map[*txn.Participant]*txn.Piece{}
+		add := func(pid types.InodeID, m storage.Mutation) {
+			p := s.store.ShardFor(pid)
+			piece, ok := byShard[p]
+			if !ok {
+				piece = &txn.Piece{P: p}
+				byShard[p] = piece
+			}
+			piece.Muts = append(piece.Muts, m)
+		}
+		add(spe.ID, storage.Mutation{
+			Kind: storage.MutDelete, Key: types.Key{Pid: spe.ID, Name: srcName}, MustExist: true,
+		})
+		add(dpe.ID, storage.Mutation{
+			Kind: storage.MutPut, Key: types.Key{Pid: dpe.ID, Name: dstName},
+			Entry: moved, IfAbsent: true,
+		})
+		if spe.ID != dpe.ID {
+			sk, dk := parentRowKey(spe), parentRowKey(dpe)
+			add(sk.Pid, storage.Mutation{
+				Kind: storage.MutDeltaAttr, Key: sk,
+				Delta: storage.AttrDelta{LinkCount: -1}, MustExist: true,
+			})
+			add(dk.Pid, storage.Mutation{
+				Kind: storage.MutDeltaAttr, Key: dk,
+				Delta: storage.AttrDelta{LinkCount: 1}, MustExist: true,
+			})
+		}
+		pieces := make([]txn.Piece, 0, len(byShard))
+		for _, p := range byShard {
+			pieces = append(pieces, *p)
+		}
+		return pieces, nil
+	})
+}

@@ -1,0 +1,152 @@
+// Package bench is the measurement harness for the evaluation: a
+// log-bucketed latency histogram, a fixed-work concurrent load runner
+// (mdtest-style: N workers × ops-per-worker), per-phase latency
+// aggregation, and table/CDF printers used by cmd/experiments to
+// regenerate the paper's figures.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram covering 1µs..~5min with
+// ~4% relative resolution. Safe for concurrent Record via external
+// striping (the runner merges per-worker histograms).
+type Histogram struct {
+	buckets [numBuckets]int64
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	min     time.Duration
+}
+
+const (
+	numBuckets  = 400
+	bucketBase  = 1.04 // ~4% resolution per bucket
+	bucketUnit  = time.Microsecond
+	maxBucketed = 390
+)
+
+func bucketOf(d time.Duration) int {
+	if d < bucketUnit {
+		return 0
+	}
+	b := int(math.Log(float64(d)/float64(bucketUnit))/math.Log(bucketBase)) + 1
+	if b < 0 {
+		b = 0
+	}
+	if b > maxBucketed {
+		b = maxBucketed
+	}
+	return b
+}
+
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return bucketUnit
+	}
+	return time.Duration(float64(bucketUnit) * math.Pow(bucketBase, float64(i)))
+}
+
+// Record adds one sample. Not safe for concurrent use.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if h.min == 0 || d < h.min {
+		h.min = d
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if h.min == 0 || (o.min != 0 && o.min < h.min) {
+		h.min = o.min
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Quantile returns the q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > target {
+			return bucketUpper(i)
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// CDF returns the distribution as (latency, fraction<=latency) points,
+// one per non-empty bucket — the Figure 11 series.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		out = append(out, CDFPoint{
+			Latency:  bucketUpper(i),
+			Fraction: float64(cum) / float64(h.count),
+		})
+	}
+	return out
+}
+
+// String summarises the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.max)
+}
+
+// histPool amortises Histogram allocation in the runner.
+var histPool = sync.Pool{New: func() any { return new(Histogram) }}

@@ -1,0 +1,343 @@
+// Package btree implements an in-memory B-tree used as the ordered index
+// of every storage shard in the reproduction. TafDB needs ordered range
+// scans for readdir (all children of a pid), for delta-record scans
+// ((pid, "/_ATTR", *) ranges), and for namespace population; a B-tree
+// gives O(log n) point ops and cheap in-order iteration.
+//
+// The tree is generic over the key type with an explicit less function.
+// It is not safe for concurrent use; shards wrap it with their own
+// latching (see internal/storage).
+package btree
+
+// Tree is a B-tree mapping K to V. The zero value is not usable; create
+// trees with New.
+type Tree[K, V any] struct {
+	degree int // minimum degree t: nodes hold t-1..2t-1 keys (except root)
+	less   func(a, b K) bool
+	root   *node[K, V]
+	length int
+}
+
+type node[K, V any] struct {
+	keys     []K
+	values   []V
+	children []*node[K, V] // nil for leaves
+}
+
+// DefaultDegree is the minimum degree used by New.
+const DefaultDegree = 16
+
+// New creates an empty tree ordered by less.
+func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return NewWithDegree[K, V](DefaultDegree, less)
+}
+
+// NewWithDegree creates an empty tree with minimum degree t (>= 2).
+func NewWithDegree[K, V any](t int, less func(a, b K) bool) *Tree[K, V] {
+	if t < 2 {
+		t = 2
+	}
+	return &Tree[K, V]{degree: t, less: less}
+}
+
+// Len returns the number of entries.
+func (t *Tree[K, V]) Len() int { return t.length }
+
+func (t *Tree[K, V]) eq(a, b K) bool { return !t.less(a, b) && !t.less(b, a) }
+
+// search returns the index of the first key in n not less than k, and
+// whether it equals k.
+func (t *Tree[K, V]) search(n *node[K, V], k K) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(n.keys[mid], k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.keys) && !t.less(k, n.keys[lo]) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Get returns the value stored under k.
+func (t *Tree[K, V]) Get(k K) (V, bool) {
+	n := t.root
+	for n != nil {
+		i, ok := t.search(n, k)
+		if ok {
+			return n.values[i], true
+		}
+		if n.children == nil {
+			break
+		}
+		n = n.children[i]
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under k. It reports whether a new key
+// was inserted (false means an existing value was replaced).
+func (t *Tree[K, V]) Put(k K, v V) bool {
+	if t.root == nil {
+		t.root = &node[K, V]{keys: []K{k}, values: []V{v}}
+		t.length = 1
+		return true
+	}
+	if len(t.root.keys) == 2*t.degree-1 {
+		old := t.root
+		t.root = &node[K, V]{children: []*node[K, V]{old}}
+		t.splitChild(t.root, 0)
+	}
+	inserted := t.insertNonFull(t.root, k, v)
+	if inserted {
+		t.length++
+	}
+	return inserted
+}
+
+func (t *Tree[K, V]) splitChild(parent *node[K, V], i int) {
+	deg := t.degree
+	child := parent.children[i]
+	mid := deg - 1
+	right := &node[K, V]{
+		keys:   append([]K(nil), child.keys[mid+1:]...),
+		values: append([]V(nil), child.values[mid+1:]...),
+	}
+	if child.children != nil {
+		right.children = append([]*node[K, V](nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	upKey, upVal := child.keys[mid], child.values[mid]
+	child.keys = child.keys[:mid]
+	child.values = child.values[:mid]
+
+	parent.keys = append(parent.keys, upKey)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	parent.keys[i] = upKey
+	parent.values = append(parent.values, upVal)
+	copy(parent.values[i+1:], parent.values[i:])
+	parent.values[i] = upVal
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+func (t *Tree[K, V]) insertNonFull(n *node[K, V], k K, v V) bool {
+	for {
+		i, ok := t.search(n, k)
+		if ok {
+			n.values[i] = v
+			return false
+		}
+		if n.children == nil {
+			var zk K
+			var zv V
+			n.keys = append(n.keys, zk)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = k
+			n.values = append(n.values, zv)
+			copy(n.values[i+1:], n.values[i:])
+			n.values[i] = v
+			return true
+		}
+		if len(n.children[i].keys) == 2*t.degree-1 {
+			t.splitChild(n, i)
+			if t.less(n.keys[i], k) {
+				i++
+			} else if t.eq(n.keys[i], k) {
+				n.values[i] = v
+				return false
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree[K, V]) Delete(k K) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.delete(t.root, k)
+	if len(t.root.keys) == 0 {
+		if t.root.children != nil {
+			t.root = t.root.children[0]
+		} else {
+			t.root = nil
+		}
+	}
+	if deleted {
+		t.length--
+	}
+	return deleted
+}
+
+func (t *Tree[K, V]) delete(n *node[K, V], k K) bool {
+	deg := t.degree
+	i, ok := t.search(n, k)
+	if n.children == nil {
+		if !ok {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.values = append(n.values[:i], n.values[i+1:]...)
+		return true
+	}
+	if ok {
+		// Replace with predecessor from the left child if it is rich
+		// enough, else successor from the right child, else merge.
+		if len(n.children[i].keys) >= deg {
+			pk, pv := t.max(n.children[i])
+			n.keys[i], n.values[i] = pk, pv
+			return t.delete(n.children[i], pk)
+		}
+		if len(n.children[i+1].keys) >= deg {
+			sk, sv := t.min(n.children[i+1])
+			n.keys[i], n.values[i] = sk, sv
+			return t.delete(n.children[i+1], sk)
+		}
+		t.merge(n, i)
+		return t.delete(n.children[i], k)
+	}
+	// Descend into children[i]; ensure it has >= deg keys first.
+	child := n.children[i]
+	if len(child.keys) == deg-1 {
+		switch {
+		case i > 0 && len(n.children[i-1].keys) >= deg:
+			t.rotateRight(n, i)
+		case i < len(n.children)-1 && len(n.children[i+1].keys) >= deg:
+			t.rotateLeft(n, i)
+		default:
+			if i == len(n.children)-1 {
+				i--
+			}
+			t.merge(n, i)
+			child = n.children[i]
+		}
+		child = n.children[i]
+	}
+	return t.delete(child, k)
+}
+
+func (t *Tree[K, V]) max(n *node[K, V]) (K, V) {
+	for n.children != nil {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.values[len(n.values)-1]
+}
+
+func (t *Tree[K, V]) min(n *node[K, V]) (K, V) {
+	for n.children != nil {
+		n = n.children[0]
+	}
+	return n.keys[0], n.values[0]
+}
+
+// rotateRight moves a key from children[i-1] through the parent into
+// children[i].
+func (t *Tree[K, V]) rotateRight(n *node[K, V], i int) {
+	left, child := n.children[i-1], n.children[i]
+	child.keys = append(child.keys, n.keys[i-1])
+	copy(child.keys[1:], child.keys)
+	child.keys[0] = n.keys[i-1]
+	child.values = append(child.values, n.values[i-1])
+	copy(child.values[1:], child.values)
+	child.values[0] = n.values[i-1]
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	n.values[i-1] = left.values[len(left.values)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	left.values = left.values[:len(left.values)-1]
+	if child.children != nil {
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+// rotateLeft moves a key from children[i+1] through the parent into
+// children[i].
+func (t *Tree[K, V]) rotateLeft(n *node[K, V], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.values = append(child.values, n.values[i])
+	n.keys[i] = right.keys[0]
+	n.values[i] = right.values[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	right.values = append(right.values[:0], right.values[1:]...)
+	if child.children != nil {
+		child.children = append(child.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// merge folds n.keys[i] and children[i+1] into children[i].
+func (t *Tree[K, V]) merge(n *node[K, V], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.keys = append(child.keys, right.keys...)
+	child.values = append(child.values, n.values[i])
+	child.values = append(child.values, right.values...)
+	if child.children != nil {
+		child.children = append(child.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.values = append(n.values[:i], n.values[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend calls fn for every entry in key order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[K, V]) ascend(n *node[K, V], fn func(k K, v V) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i := range n.keys {
+		if n.children != nil && !t.ascend(n.children[i], fn) {
+			return false
+		}
+		if !fn(n.keys[i], n.values[i]) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return t.ascend(n.children[len(n.children)-1], fn)
+	}
+	return true
+}
+
+// AscendRange calls fn for every entry with lo <= key < hi, in order,
+// until fn returns false.
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
+	t.ascendRange(t.root, lo, hi, fn)
+}
+
+func (t *Tree[K, V]) ascendRange(n *node[K, V], lo, hi K, fn func(k K, v V) bool) bool {
+	if n == nil {
+		return true
+	}
+	start, _ := t.search(n, lo)
+	for i := start; i < len(n.keys); i++ {
+		if n.children != nil && !t.ascendRange(n.children[i], lo, hi, fn) {
+			return false
+		}
+		if !t.less(n.keys[i], hi) {
+			return false
+		}
+		if !fn(n.keys[i], n.values[i]) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return t.ascendRange(n.children[len(n.children)-1], lo, hi, fn)
+	}
+	return true
+}

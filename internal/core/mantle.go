@@ -1,0 +1,468 @@
+// Package core assembles Mantle, the paper's metadata service (§4–5): a
+// stateless proxy layer orchestrating a per-namespace IndexNode Raft
+// group (directory access metadata, single-RPC lookups, rename
+// coordination) over a shared, sharded TafDB (complete metadata,
+// distributed transactions, delta records).
+//
+// The proxy-side orchestration implemented here follows the paper's
+// workflows exactly:
+//
+//   - every operation begins with a single-RPC lookup on IndexNode
+//     (Figure 7),
+//   - object operations then execute against TafDB with the resolved pid,
+//   - mkdir/rmdir run a TafDB transaction and then replicate the access-
+//     metadata change through IndexNode's Raft log,
+//   - cross-directory dirrename runs the Figure 9 protocol: a single
+//     PrepareRename RPC on IndexNode performs path resolution, RemovalList
+//     insertion, lock acquisition, and loop detection; the proxy then
+//     commits the TafDB transaction and the replicated IndexNode rename,
+//     or aborts and retries on conflict. Retries reuse the operation's
+//     UUID, so a crashed proxy's successor re-acquires the same lock
+//     idempotently (§5.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mantle/internal/api"
+	"mantle/internal/indexnode"
+	"mantle/internal/metrics"
+	"mantle/internal/netsim"
+	"mantle/internal/pathutil"
+	"mantle/internal/rpc"
+	"mantle/internal/tafdb"
+	"mantle/internal/txn"
+	"mantle/internal/types"
+)
+
+// Config parameterises a Mantle deployment for one namespace.
+type Config struct {
+	// Fabric is the shared network; a zero-latency fabric is created if
+	// nil.
+	Fabric *netsim.Fabric
+	// TafDB configures the shared metadata database. Its Fabric field is
+	// overridden with the deployment fabric.
+	TafDB tafdb.Config
+	// Index configures the namespace's IndexNode group; Fabric likewise
+	// overridden.
+	Index indexnode.Config
+	// ProxyCache enables the proxy-side metadata cache of Figure 20.
+	// Off by default: Mantle's design intentionally rejects proxy
+	// caching (stateless proxies), and the single-RPC lookup leaves it
+	// little to save.
+	ProxyCache bool
+	// RenameRetries bounds dirrename retries on lock conflicts.
+	RenameRetries int
+	// RetryBase/RetryMax shape rename retry backoff.
+	RetryBase, RetryMax time.Duration
+}
+
+// Mantle is one namespace's metadata service handle. It implements
+// api.Service. Mantle is the Service a proxy embeds; proxies themselves
+// are stateless, so concurrent goroutines calling these methods are the
+// proxy fleet.
+type Mantle struct {
+	cfg    Config
+	db     *tafdb.DB
+	idx    *indexnode.Group
+	caller *rpc.Caller
+	uuidSq atomic.Uint64
+	ownsDB bool
+	pcache *proxyCache // nil unless Config.ProxyCache
+	stats  *metrics.Registry
+}
+
+var _ api.Service = (*Mantle)(nil)
+
+// New builds and starts a Mantle deployment. An existing TafDB may be
+// shared across namespaces via NewWithDB.
+func New(cfg Config) (*Mantle, error) {
+	if cfg.Fabric == nil {
+		cfg.Fabric = netsim.NewLocalFabric()
+	}
+	cfg.TafDB.Fabric = cfg.Fabric
+	db := tafdb.New(cfg.TafDB)
+	if err := db.CreateRoot(types.RootID); err != nil {
+		db.Stop()
+		return nil, err
+	}
+	m, err := NewWithDB(cfg, db)
+	if err != nil {
+		db.Stop()
+		return nil, err
+	}
+	m.ownsDB = true
+	return m, nil
+}
+
+// NewWithDB builds a Mantle namespace service over an existing (shared)
+// TafDB. The caller retains ownership of db.
+func NewWithDB(cfg Config, db *tafdb.DB) (*Mantle, error) {
+	if cfg.Fabric == nil {
+		cfg.Fabric = netsim.NewLocalFabric()
+	}
+	cfg.Index.Fabric = cfg.Fabric
+	if cfg.RenameRetries <= 0 {
+		cfg.RenameRetries = 10000
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 20 * time.Microsecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Millisecond
+	}
+	idx, err := indexnode.NewGroup(cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mantle{
+		cfg:    cfg,
+		db:     db,
+		idx:    idx,
+		caller: rpc.NewCaller(cfg.Fabric),
+		stats:  metrics.NewRegistry(),
+	}
+	if cfg.ProxyCache {
+		m.pcache = newProxyCache()
+	}
+	m.stats.Gauge("tafdb_rows", func() int64 { return int64(db.TotalRows()) })
+	m.stats.Gauge("tafdb_txn_retries", db.Retries)
+	m.stats.Gauge("indexnode_cache_entries", func() int64 {
+		n, _, _, _ := idx.CacheStats()
+		return int64(n)
+	})
+	m.stats.Gauge("indexnode_cache_hits", func() int64 {
+		_, _, h, _ := idx.CacheStats()
+		return h
+	})
+	return m, nil
+}
+
+// Metrics exposes the deployment's metrics registry (the mantled
+// gateway's /metrics endpoint renders it).
+func (m *Mantle) Metrics() *metrics.Registry { return m.stats }
+
+// record accounts one completed operation.
+func (m *Mantle) record(op string, res types.Result, err error) {
+	m.stats.Counter("ops_" + op).Inc()
+	if err != nil {
+		m.stats.Counter("errors_" + op).Inc()
+		return
+	}
+	m.stats.Latency("latency_" + op).Observe(res.Phases.Total())
+	if res.Retries > 0 {
+		m.stats.Counter("retries_" + op).Add(int64(res.Retries))
+	}
+}
+
+// lookup resolves dirPath, consulting the optional proxy-side cache
+// before issuing the IndexNode RPC.
+func (m *Mantle) lookup(op *rpc.Op, dirPath string) (indexnode.LookupResult, error) {
+	if m.pcache != nil {
+		if res, ok := m.pcache.get(pathutil.Clean(dirPath)); ok {
+			return res, nil
+		}
+	}
+	res, err := m.idx.Lookup(op, dirPath)
+	if err == nil && m.pcache != nil {
+		m.pcache.put(dirPath, res)
+	}
+	return res, err
+}
+
+// Name implements api.Service.
+func (m *Mantle) Name() string { return "mantle" }
+
+// Caller implements api.Service.
+func (m *Mantle) Caller() *rpc.Caller { return m.caller }
+
+// DB exposes the TafDB (stats, multi-namespace sharing).
+func (m *Mantle) DB() *tafdb.DB { return m.db }
+
+// Index exposes the IndexNode group (stats, ablation inspection).
+func (m *Mantle) Index() *indexnode.Group { return m.idx }
+
+// Stop implements api.Service.
+func (m *Mantle) Stop() {
+	m.idx.Stop()
+	if m.ownsDB {
+		m.db.Stop()
+	}
+}
+
+func (m *Mantle) newUUID() string {
+	return fmt.Sprintf("mntl-%d", m.uuidSq.Add(1))
+}
+
+// Lookup implements api.Service: a single-RPC path resolution.
+func (m *Mantle) Lookup(op *rpc.Op, dirPath string) (res types.Result, err error) {
+	defer func() { m.record("lookup", res, err) }()
+	t := api.NewTimer()
+	lres, lerr := m.lookup(op, dirPath)
+	t.Phase(types.PhaseLookup)
+	if lerr != nil {
+		return t.Done(op, 0, types.Entry{}), lerr
+	}
+	return t.Done(op, 0, types.Entry{
+		ID: lres.ID, Pid: lres.ParentID, Kind: types.KindDir, Perm: lres.Perm,
+	}), nil
+}
+
+// Create implements api.Service.
+func (m *Mantle) Create(op *rpc.Op, objPath string, size int64) (res types.Result, err error) {
+	defer func() { m.record("create", res, err) }()
+	dir, name := pathutil.Dir(objPath), pathutil.Base(objPath)
+	t := api.NewTimer()
+	lres, err := m.lookup(op, dir)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), err
+	}
+	if !lres.Perm.Allows(types.PermWrite | types.PermLookup) {
+		return t.Done(op, 0, types.Entry{}), fmt.Errorf("create %s: %w", objPath, types.ErrPermission)
+	}
+	entry, retries, err := m.db.CreateObject(op, lres.ID, name, size)
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, retries, entry), err
+}
+
+// Delete implements api.Service.
+func (m *Mantle) Delete(op *rpc.Op, objPath string) (res types.Result, err error) {
+	defer func() { m.record("delete", res, err) }()
+	dir, name := pathutil.Dir(objPath), pathutil.Base(objPath)
+	t := api.NewTimer()
+	lres, err := m.lookup(op, dir)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), err
+	}
+	if !lres.Perm.Allows(types.PermWrite | types.PermLookup) {
+		return t.Done(op, 0, types.Entry{}), fmt.Errorf("delete %s: %w", objPath, types.ErrPermission)
+	}
+	retries, err := m.db.DeleteObject(op, lres.ID, name)
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, retries, types.Entry{}), err
+}
+
+// ObjStat implements api.Service.
+func (m *Mantle) ObjStat(op *rpc.Op, objPath string) (res types.Result, err error) {
+	defer func() { m.record("objstat", res, err) }()
+	dir, name := pathutil.Dir(objPath), pathutil.Base(objPath)
+	t := api.NewTimer()
+	lres, err := m.lookup(op, dir)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), err
+	}
+	if !lres.Perm.Allows(types.PermLookup) {
+		return t.Done(op, 0, types.Entry{}), fmt.Errorf("objstat %s: %w", objPath, types.ErrPermission)
+	}
+	entry, err := m.db.StatObject(op, lres.ID, name)
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, 0, entry), err
+}
+
+// DirStat implements api.Service.
+func (m *Mantle) DirStat(op *rpc.Op, dirPath string) (res types.Result, err error) {
+	defer func() { m.record("dirstat", res, err) }()
+	t := api.NewTimer()
+	lres, err := m.lookup(op, dirPath)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), err
+	}
+	entry, err := m.db.StatDir(op, lres.ID)
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, 0, entry), err
+}
+
+// ReadDir implements api.Service.
+func (m *Mantle) ReadDir(op *rpc.Op, dirPath string) (res types.Result, entries []types.Entry, err error) {
+	defer func() { m.record("readdir", res, err) }()
+	t := api.NewTimer()
+	lres, err := m.lookup(op, dirPath)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), nil, err
+	}
+	if !lres.Perm.Allows(types.PermLookup | types.PermRead) {
+		return t.Done(op, 0, types.Entry{}), nil, fmt.Errorf("readdir %s: %w", dirPath, types.ErrPermission)
+	}
+	entries, err = m.db.ReadDir(op, lres.ID)
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, 0, types.Entry{}), entries, err
+}
+
+// Mkdir implements api.Service: TafDB transaction, then the replicated
+// IndexNode access-metadata insert.
+func (m *Mantle) Mkdir(op *rpc.Op, dirPath string) (res types.Result, err error) {
+	defer func() { m.record("mkdir", res, err) }()
+	parent, name := pathutil.Dir(dirPath), pathutil.Base(dirPath)
+	t := api.NewTimer()
+	lres, err := m.lookup(op, parent)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), err
+	}
+	if !lres.Perm.Allows(types.PermWrite) {
+		return t.Done(op, 0, types.Entry{}), fmt.Errorf("mkdir %s: %w", dirPath, types.ErrPermission)
+	}
+	id := m.db.NewID()
+	entry, retries, err := m.db.Mkdir(op, lres.ID, name, id, types.PermAll)
+	if err != nil {
+		t.Phase(types.PhaseExecute)
+		return t.Done(op, retries, types.Entry{}), err
+	}
+	err = m.idx.AddDir(op, lres.ID, name, id, types.PermAll)
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, retries, entry), err
+}
+
+// Rmdir implements api.Service.
+func (m *Mantle) Rmdir(op *rpc.Op, dirPath string) (res types.Result, err error) {
+	defer func() { m.record("rmdir", res, err) }()
+	name := pathutil.Base(dirPath)
+	t := api.NewTimer()
+	lres, err := m.lookup(op, dirPath)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), err
+	}
+	retries, err := m.db.Rmdir(op, lres.ParentID, name, lres.ID)
+	if err != nil {
+		t.Phase(types.PhaseExecute)
+		return t.Done(op, retries, types.Entry{}), err
+	}
+	err = m.idx.RemoveDir(op, lres.ParentID, name, lres.ID, dirPath)
+	if m.pcache != nil {
+		m.pcache.invalidate(dirPath)
+	}
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, retries, types.Entry{}), err
+}
+
+// DirRename implements api.Service: the Figure 9 protocol. The lookup
+// phase is folded into loop detection (PrepareRename resolves both
+// paths), so — matching the paper's breakdown — lookup time is recorded
+// as zero and the PrepareRename RPC is charged to the loop-detection
+// phase.
+func (m *Mantle) DirRename(op *rpc.Op, srcPath, dstPath string) (res types.Result, err error) {
+	defer func() { m.record("dirrename", res, err) }()
+	dstParent, dstName := pathutil.Dir(dstPath), pathutil.Base(dstPath)
+	uuid := m.newUUID()
+	t := api.NewTimer()
+	var totalRetries int
+	for attempt := 0; ; attempt++ {
+		prep, err := m.idx.PrepareRename(op, srcPath, dstParent, dstName, uuid)
+		if err != nil {
+			if errors.Is(err, types.ErrLocked) && attempt < m.cfg.RenameRetries {
+				totalRetries++
+				txn.Backoff(attempt, m.cfg.RetryBase, m.cfg.RetryMax)
+				continue
+			}
+			t.Phase(types.PhaseLoopDetect)
+			return t.Done(op, totalRetries, types.Entry{}), err
+		}
+		t.Phase(types.PhaseLoopDetect)
+
+		retries, err := m.db.RenameDir(op, prep.SrcPid, prep.SrcName, prep.DstPid, dstName, prep.SrcID, prep.SrcPerm)
+		totalRetries += retries
+		if err != nil {
+			_ = m.idx.AbortRename(op, prep.SrcID, srcPath, uuid)
+			t.Phase(types.PhaseExecute)
+			if errors.Is(err, types.ErrRetryExhausted) && attempt < m.cfg.RenameRetries {
+				totalRetries++
+				txn.Backoff(attempt, m.cfg.RetryBase, m.cfg.RetryMax)
+				continue
+			}
+			return t.Done(op, totalRetries, types.Entry{}), err
+		}
+		err = m.idx.CommitRename(op, prep, dstName, srcPath, uuid)
+		if m.pcache != nil {
+			m.pcache.invalidate(srcPath)
+		}
+		t.Phase(types.PhaseExecute)
+		return t.Done(op, totalRetries, types.Entry{}), err
+	}
+}
+
+// SetPerm changes a directory's permission, updating TafDB and the
+// replicated IndexNode entry (which invalidates affected cache ranges on
+// every replica).
+func (m *Mantle) SetPerm(op *rpc.Op, dirPath string, perm types.Perm) (res types.Result, err error) {
+	defer func() { m.record("setperm", res, err) }()
+	t := api.NewTimer()
+	lres, err := m.lookup(op, dirPath)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), err
+	}
+	retries, err := m.db.SetDirAttr(op, lres.ID, types.Attr{MTime: time.Now()})
+	if err != nil {
+		t.Phase(types.PhaseExecute)
+		return t.Done(op, retries, types.Entry{}), err
+	}
+	err = m.idx.SetPerm(op, lres.ID, perm, dirPath)
+	if m.pcache != nil {
+		m.pcache.invalidate(dirPath)
+	}
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, retries, types.Entry{}), err
+}
+
+// Populate implements api.Service: bulk-load dirs and objects into TafDB
+// and the IndexNode replicas.
+func (m *Mantle) Populate(dirs []api.PopDir, objects []api.PopObject) error {
+	entries := make([]types.Entry, 0, len(dirs)+len(objects))
+	access := make([]types.AccessEntry, 0, len(dirs))
+	maxID := uint64(types.RootID)
+	for _, d := range dirs {
+		perm := d.Perm
+		if perm == 0 {
+			perm = types.PermAll
+		}
+		entries = append(entries, types.Entry{
+			Pid: d.Pid, Name: pathutil.Base(d.Path), ID: d.ID,
+			Kind: types.KindDir, Perm: perm,
+		})
+		access = append(access, types.AccessEntry{
+			Pid: d.Pid, Name: pathutil.Base(d.Path), ID: d.ID, Perm: perm,
+		})
+		if uint64(d.ID) > maxID {
+			maxID = uint64(d.ID)
+		}
+	}
+	m.db.ReserveIDs(types.InodeID(maxID))
+	for _, o := range objects {
+		entries = append(entries, types.Entry{
+			Pid: o.Pid, Name: o.Name, ID: m.db.NewID(), Kind: types.KindObject,
+			Perm: types.PermAll, Attr: types.Attr{Size: o.Size},
+		})
+	}
+	if err := m.db.BulkInsert(entries); err != nil {
+		return err
+	}
+	m.idx.BulkAdd(access)
+	return nil
+}
+
+// ReadDirPage implements paginated listing: up to limit entries with
+// names after startAfter, plus the continuation token for the next page.
+func (m *Mantle) ReadDirPage(op *rpc.Op, dirPath, startAfter string, limit int) (res types.Result, entries []types.Entry, next string, err error) {
+	defer func() { m.record("readdirpage", res, err) }()
+	t := api.NewTimer()
+	lres, err := m.lookup(op, dirPath)
+	t.Phase(types.PhaseLookup)
+	if err != nil {
+		return t.Done(op, 0, types.Entry{}), nil, "", err
+	}
+	if !lres.Perm.Allows(types.PermLookup | types.PermRead) {
+		return t.Done(op, 0, types.Entry{}), nil, "", fmt.Errorf("list %s: %w", dirPath, types.ErrPermission)
+	}
+	entries, next, err = m.db.ReadDirPage(op, lres.ID, startAfter, limit)
+	t.Phase(types.PhaseExecute)
+	return t.Done(op, 0, types.Entry{}), entries, next, err
+}

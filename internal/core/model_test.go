@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"mantle/internal/types"
+)
+
+// model_test.go runs differential testing: long random operation
+// sequences are applied both to Mantle and to a trivially-correct
+// in-memory reference filesystem; after every operation the outcome
+// (success/error class, stat results, listings) must match, and at the
+// end the full namespaces must be identical.
+
+// refFS is the reference model: a plain tree.
+type refFS struct {
+	root *refNode
+}
+
+type refNode struct {
+	name     string
+	isDir    bool
+	size     int64
+	children map[string]*refNode
+}
+
+func newRefFS() *refFS {
+	return &refFS{root: &refNode{name: "/", isDir: true, children: map[string]*refNode{}}}
+}
+
+func (f *refFS) walk(path string) (*refNode, bool) {
+	cur := f.root
+	for _, c := range splitPath(path) {
+		if !cur.isDir {
+			return nil, false
+		}
+		next, ok := cur.children[c]
+		if !ok {
+			return nil, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+func splitPath(p string) []string {
+	var out []string
+	for _, c := range strings.Split(p, "/") {
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func parentOf(p string) (string, string) {
+	comps := splitPath(p)
+	if len(comps) == 0 {
+		return "/", ""
+	}
+	return "/" + strings.Join(comps[:len(comps)-1], "/"), comps[len(comps)-1]
+}
+
+func (f *refFS) mkdir(path string) error {
+	dir, name := parentOf(path)
+	p, ok := f.walk(dir)
+	if !ok || !p.isDir {
+		return types.ErrNotFound
+	}
+	if _, exists := p.children[name]; exists {
+		return types.ErrExists
+	}
+	p.children[name] = &refNode{name: name, isDir: true, children: map[string]*refNode{}}
+	return nil
+}
+
+func (f *refFS) create(path string, size int64) error {
+	dir, name := parentOf(path)
+	p, ok := f.walk(dir)
+	if !ok || !p.isDir {
+		return types.ErrNotFound
+	}
+	if _, exists := p.children[name]; exists {
+		return types.ErrExists
+	}
+	p.children[name] = &refNode{name: name, size: size}
+	return nil
+}
+
+func (f *refFS) remove(path string, wantDir bool) error {
+	dir, name := parentOf(path)
+	p, ok := f.walk(dir)
+	if !ok || !p.isDir {
+		return types.ErrNotFound
+	}
+	n, exists := p.children[name]
+	if !exists {
+		return types.ErrNotFound
+	}
+	if wantDir {
+		if !n.isDir {
+			return types.ErrNotFound
+		}
+		if len(n.children) > 0 {
+			return types.ErrNotEmpty
+		}
+	} else if n.isDir {
+		return types.ErrNotFound
+	}
+	delete(p.children, name)
+	return nil
+}
+
+func (f *refFS) rename(src, dst string) error {
+	sdir, sname := parentOf(src)
+	sp, ok := f.walk(sdir)
+	if !ok || !sp.isDir {
+		return types.ErrNotFound
+	}
+	n, exists := sp.children[sname]
+	if !exists || !n.isDir {
+		return types.ErrNotFound
+	}
+	// Mantle's Figure 9 order: resolve the destination parent first
+	// (PrepareRename resolves both paths), then run loop detection.
+	ddir, dname := parentOf(dst)
+	dp, ok := f.walk(ddir)
+	if !ok || !dp.isDir {
+		return types.ErrNotFound
+	}
+	// Loop: src must not be ancestor-or-equal of dst's parent.
+	if ddir == src || strings.HasPrefix(ddir+"/", src+"/") {
+		return types.ErrLoop
+	}
+	if _, exists := dp.children[dname]; exists {
+		return types.ErrExists
+	}
+	delete(sp.children, sname)
+	n.name = dname
+	dp.children[dname] = n
+	return nil
+}
+
+func (f *refFS) list(path string) ([]string, error) {
+	n, ok := f.walk(path)
+	if !ok || !n.isDir {
+		return nil, types.ErrNotFound
+	}
+	var out []string
+	for name, c := range n.children {
+		kind := "f"
+		if c.isDir {
+			kind = "d"
+		}
+		out = append(out, kind+":"+name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// dump flattens the tree into sorted "path kind size" lines.
+func (f *refFS) dump() []string {
+	var out []string
+	var rec func(prefix string, n *refNode)
+	rec = func(prefix string, n *refNode) {
+		for name, c := range n.children {
+			p := prefix + "/" + name
+			if c.isDir {
+				out = append(out, p+" d")
+				rec(p, c)
+			} else {
+				out = append(out, fmt.Sprintf("%s f %d", p, c.size))
+			}
+		}
+	}
+	rec("", f.root)
+	sort.Strings(out)
+	return out
+}
+
+// errClass buckets errors so Mantle and the model only need to agree on
+// the class, not the exact message.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, types.ErrNotFound), errors.Is(err, types.ErrNotDir),
+		errors.Is(err, types.ErrIsDir):
+		return "notfound"
+	case errors.Is(err, types.ErrExists):
+		return "exists"
+	case errors.Is(err, types.ErrNotEmpty):
+		return "notempty"
+	case errors.Is(err, types.ErrLoop):
+		return "loop"
+	default:
+		return "other:" + err.Error()
+	}
+}
+
+func TestDifferentialAgainstModel(t *testing.T) {
+	m := newTestMantle(t, nil)
+	ref := newRefFS()
+	r := rand.New(rand.NewSource(20260704))
+
+	// Path pool: names from a small alphabet at depths up to 5, so
+	// collisions and structural reuse are frequent.
+	names := []string{"a", "b", "c", "d"}
+	randPath := func(maxDepth int) string {
+		depth := 1 + r.Intn(maxDepth)
+		var sb strings.Builder
+		for i := 0; i < depth; i++ {
+			sb.WriteString("/")
+			sb.WriteString(names[r.Intn(len(names))])
+		}
+		return sb.String()
+	}
+
+	const steps = 4000
+	for step := 0; step < steps; step++ {
+		var gotErr, wantErr error
+		var desc string
+		switch r.Intn(8) {
+		case 0: // mkdir
+			p := randPath(5)
+			desc = "mkdir " + p
+			_, gotErr = m.Mkdir(op(m), p)
+			wantErr = ref.mkdir(p)
+		case 1: // create
+			p := randPath(5)
+			size := int64(r.Intn(1000))
+			desc = "create " + p
+			_, gotErr = m.Create(op(m), p, size)
+			wantErr = ref.create(p, size)
+		case 2: // delete object
+			p := randPath(5)
+			desc = "delete " + p
+			_, gotErr = m.Delete(op(m), p)
+			wantErr = ref.remove(p, false)
+		case 3: // rmdir
+			p := randPath(5)
+			desc = "rmdir " + p
+			_, gotErr = m.Rmdir(op(m), p)
+			wantErr = ref.remove(p, true)
+		case 4: // rename
+			src, dst := randPath(4), randPath(4)
+			if src == dst {
+				continue
+			}
+			desc = "rename " + src + " -> " + dst
+			_, gotErr = m.DirRename(op(m), src, dst)
+			wantErr = ref.rename(src, dst)
+		case 5: // objstat
+			p := randPath(5)
+			desc = "objstat " + p
+			res, err := m.ObjStat(op(m), p)
+			gotErr = err
+			n, ok := ref.walk(p)
+			if !ok || n.isDir {
+				wantErr = types.ErrNotFound
+			} else if err == nil && res.Entry.Attr.Size != n.size {
+				t.Fatalf("step %d %s: size %d != model %d", step, desc, res.Entry.Attr.Size, n.size)
+			}
+		case 6: // dirstat link count
+			p := randPath(4)
+			desc = "dirstat " + p
+			res, err := m.DirStat(op(m), p)
+			gotErr = err
+			n, ok := ref.walk(p)
+			if !ok || !n.isDir {
+				wantErr = types.ErrNotFound
+			} else if err == nil {
+				// Delta records may be un-compacted; DirStat merges them,
+				// so the count must be exact.
+				if res.Entry.Attr.LinkCount != int64(len(n.children)) {
+					t.Fatalf("step %d %s: links %d != model %d",
+						step, desc, res.Entry.Attr.LinkCount, len(n.children))
+				}
+			}
+		case 7: // readdir
+			p := randPath(4)
+			desc = "readdir " + p
+			_, entries, err := m.ReadDir(op(m), p)
+			gotErr = err
+			n, ok := ref.walk(p)
+			if !ok || !n.isDir {
+				wantErr = types.ErrNotFound
+			} else if err == nil {
+				var got []string
+				for _, e := range entries {
+					kind := "f"
+					if e.IsDir() {
+						kind = "d"
+					}
+					got = append(got, kind+":"+e.Name)
+				}
+				sort.Strings(got)
+				want, _ := ref.list(p)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("step %d %s:\n got %v\nwant %v", step, desc, got, want)
+				}
+			}
+		}
+		if errClass(gotErr) != errClass(wantErr) {
+			t.Fatalf("step %d %s: mantle=%v model=%v", step, desc, gotErr, wantErr)
+		}
+	}
+
+	// Final deep comparison: walk the model and verify every entry
+	// resolves identically through Mantle; then verify Mantle holds no
+	// extras (per-directory listings match exactly).
+	var verifyDir func(path string, n *refNode)
+	verifyDir = func(path string, n *refNode) {
+		_, entries, err := m.ReadDir(op(m), path)
+		if err != nil {
+			t.Fatalf("final readdir %s: %v", path, err)
+		}
+		if len(entries) != len(n.children) {
+			t.Fatalf("final %s: %d entries vs model %d", path, len(entries), len(n.children))
+		}
+		for _, e := range entries {
+			c, ok := n.children[e.Name]
+			if !ok {
+				t.Fatalf("final %s: extra entry %s", path, e.Name)
+			}
+			if c.isDir != e.IsDir() {
+				t.Fatalf("final %s/%s: kind mismatch", path, e.Name)
+			}
+			if c.isDir {
+				sub := path + "/" + e.Name
+				if path == "/" {
+					sub = "/" + e.Name
+				}
+				verifyDir(sub, c)
+			} else if e.Attr.Size != c.size {
+				t.Fatalf("final %s/%s: size %d vs %d", path, e.Name, e.Attr.Size, c.size)
+			}
+		}
+	}
+	verifyDir("/", ref.root)
+	t.Logf("model dump: %d entries after %d steps", len(ref.dump()), steps)
+}

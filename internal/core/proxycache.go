@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+
+	"mantle/internal/indexnode"
+	"mantle/internal/pathutil"
+	"mantle/internal/radix"
+)
+
+// proxyCache is the optional proxy-side metadata cache evaluated in the
+// paper's Figure 20 ("we equip InfiniFS and Mantle with metadata
+// caching"): directory-path resolution results cached at the proxy
+// layer, short-circuiting even the single IndexNode RPC. The paper's
+// point — and this reproduction's — is that it helps Mantle only
+// modestly, because single-RPC lookups leave little to save; it is off
+// by default (§6.5: "metadata caching isn't adopted in Mantle's
+// design").
+//
+// Invalidation: renames, permission changes, and rmdirs evict the
+// affected subtree. This works here because the example "proxy fleet" is
+// goroutines sharing one process; the paper's stateless multi-node proxy
+// layer is precisely why the design rejects this cache.
+type proxyCache struct {
+	mu     sync.RWMutex
+	m      map[string]indexnode.LookupResult
+	prefix *radix.Tree
+}
+
+func newProxyCache() *proxyCache {
+	return &proxyCache{m: make(map[string]indexnode.LookupResult), prefix: radix.New()}
+}
+
+func (c *proxyCache) get(path string) (indexnode.LookupResult, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	res, ok := c.m[path]
+	return res, ok
+}
+
+func (c *proxyCache) put(path string, res indexnode.LookupResult) {
+	path = pathutil.Clean(path)
+	if path == "/" {
+		return
+	}
+	c.mu.Lock()
+	c.m[path] = res
+	c.prefix.Insert(path)
+	c.mu.Unlock()
+}
+
+func (c *proxyCache) invalidate(path string) {
+	c.mu.Lock()
+	for _, p := range c.prefix.RemoveSubtree(pathutil.Clean(path)) {
+		delete(c.m, p)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,94 @@
+// Package dataservice is the object data-plane stub used by the
+// application experiments (§6.2 of the paper runs Analytics and Audio
+// twice: metadata-only, then with data access enabled). The paper's data
+// service is a pool of SSD-backed servers shared by all four metadata
+// systems; here it is a set of netsim nodes charging a base latency plus
+// a size-proportional transfer cost per PUT/GET. The same instance is
+// shared across the systems under comparison, exactly as in Table 2
+// ("all deployments share the same data storage").
+package dataservice
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mantle/internal/netsim"
+)
+
+// Config parameterises the data service.
+type Config struct {
+	// Nodes is the number of data servers.
+	Nodes int
+	// Workers is the per-server concurrency.
+	Workers int
+	// BaseCost is the fixed device cost per object access (the paper
+	// cites "a single RPC plus tens of microseconds for device access"
+	// for small objects on SSD).
+	BaseCost time.Duration
+	// PerMB is the additional transfer cost per megabyte.
+	PerMB time.Duration
+	// Fabric supplies RPC latency.
+	Fabric *netsim.Fabric
+}
+
+// Service is the data-plane stub.
+type Service struct {
+	cfg    Config
+	nodes  []*netsim.Node
+	seq    atomic.Uint64
+	puts   atomic.Int64
+	gets   atomic.Int64
+	rbytes atomic.Int64
+	wbytes atomic.Int64
+}
+
+// New builds the service.
+func New(cfg Config) *Service {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 8
+	}
+	if cfg.Fabric == nil {
+		cfg.Fabric = netsim.NewLocalFabric()
+	}
+	if cfg.BaseCost <= 0 {
+		cfg.BaseCost = 40 * time.Microsecond
+	}
+	if cfg.PerMB <= 0 {
+		cfg.PerMB = 300 * time.Microsecond
+	}
+	s := &Service{cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		s.nodes = append(s.nodes, netsim.NewNode(fmt.Sprintf("data-%d", i), cfg.Workers))
+	}
+	return s
+}
+
+func (s *Service) cost(size int64) time.Duration {
+	return s.cfg.BaseCost + time.Duration(float64(s.cfg.PerMB)*float64(size)/(1<<20))
+}
+
+func (s *Service) pick() *netsim.Node {
+	return s.nodes[s.seq.Add(1)%uint64(len(s.nodes))]
+}
+
+// Put stores an object of the given size: one RPC plus device cost.
+func (s *Service) Put(size int64) {
+	s.cfg.Fabric.RoundTrip()
+	_ = s.pick().Exec(s.cost(size), func() error { return nil })
+	s.puts.Add(1)
+	s.wbytes.Add(size)
+}
+
+// Get fetches an object of the given size.
+func (s *Service) Get(size int64) {
+	s.cfg.Fabric.RoundTrip()
+	_ = s.pick().Exec(s.cost(size), func() error { return nil })
+	s.gets.Add(1)
+	s.rbytes.Add(size)
+}
+
+// Stats returns cumulative counters.
+func (s *Service) Stats() (puts, gets, bytesWritten, bytesRead int64) {
+	return s.puts.Load(), s.gets.Load(), s.wbytes.Load(), s.rbytes.Load()
+}

@@ -1,0 +1,61 @@
+package dataservice
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mantle/internal/netsim"
+)
+
+func TestPutGetAccounting(t *testing.T) {
+	s := New(Config{Nodes: 2, Workers: 4, BaseCost: time.Microsecond, PerMB: time.Microsecond})
+	s.Put(1 << 20)
+	s.Put(2 << 20)
+	s.Get(4 << 20)
+	puts, gets, written, read := s.Stats()
+	if puts != 2 || gets != 1 {
+		t.Fatalf("puts=%d gets=%d", puts, gets)
+	}
+	if written != 3<<20 || read != 4<<20 {
+		t.Fatalf("written=%d read=%d", written, read)
+	}
+}
+
+func TestTransferCostScalesWithSize(t *testing.T) {
+	s := New(Config{
+		Nodes: 1, Workers: 1,
+		BaseCost: time.Millisecond, PerMB: 10 * time.Millisecond,
+		Fabric: netsim.NewLocalFabric(),
+	})
+	small := timeOp(func() { s.Get(64 << 10) })
+	large := timeOp(func() { s.Get(16 << 20) })
+	if large < 4*small {
+		t.Fatalf("large transfer %v not much slower than small %v", large, small)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	// 1 node x 2 workers at 5ms/op => 400 ops/s; 40 concurrent ops must
+	// take at least ~90ms.
+	s := New(Config{Nodes: 1, Workers: 2, BaseCost: 5 * time.Millisecond, PerMB: time.Nanosecond})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Put(1)
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("40 ops finished in %v; capacity not enforced", elapsed)
+	}
+}
+
+func timeOp(fn func()) time.Duration {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}

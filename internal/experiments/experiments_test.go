@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickParams shrinks every experiment so the whole suite smoke-tests in
+// seconds. The full-scale run happens via cmd/experiments.
+func quickParams(buf *bytes.Buffer) Params {
+	return Params{
+		Out:   buf,
+		RTT:   50 * time.Microsecond,
+		Quick: true,
+	}.WithDefaults()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must have a driver.
+	want := []string{
+		"fig3", "fig4a", "fig4b", "tab1", "tab2",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18", "fig19a", "fig19b", "fig20", "tab3",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+}
+
+func TestUnknownSystem(t *testing.T) {
+	if _, err := NewSystem("bogus", nil, SystemOpts{}); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	err := Run([]string{"fig999"}, Params{Out: &buf, Quick: true})
+	if err == nil || !strings.Contains(err.Error(), "unknown id") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// The smoke tests below run each experiment at Quick scale and assert
+// the expected table headers appear.
+func runQuick(t *testing.T, id string, wantSnippets ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	p := quickParams(&buf)
+	if err := Registry[id](p); err != nil {
+		t.Fatalf("%s: %v\noutput so far:\n%s", id, err, buf.String())
+	}
+	out := buf.String()
+	for _, w := range wantSnippets {
+		if !strings.Contains(out, w) {
+			t.Fatalf("%s output missing %q:\n%s", id, w, out)
+		}
+	}
+}
+
+func TestFig3Quick(t *testing.T)  { runQuick(t, "fig3", "Figure 3", "ns4", "avg depth") }
+func TestFig4aQuick(t *testing.T) { runQuick(t, "fig4a", "Figure 4a", "lookup share") }
+func TestFig4bQuick(t *testing.T) { runQuick(t, "fig4b", "Figure 4b", "no conflict", "dirrename") }
+func TestTable1Quick(t *testing.T) {
+	runQuick(t, "tab1", "Table 1", "mantle", "tectonic", "infinifs", "locofs")
+}
+func TestTable2Quick(t *testing.T) { runQuick(t, "tab2", "Table 2", "IndexNode", "TafDB") }
+func TestFig12Quick(t *testing.T)  { runQuick(t, "fig12", "Figure 12", "objstat", "mantle") }
+func TestFig13Quick(t *testing.T)  { runQuick(t, "fig13", "Figure 13", "lookup", "execute") }
+func TestFig14Quick(t *testing.T)  { runQuick(t, "fig14", "Figure 14", "mkdir-s", "dirrename-s") }
+func TestFig15Quick(t *testing.T)  { runQuick(t, "fig15", "Figure 15", "loopdetect") }
+func TestFig16Quick(t *testing.T) {
+	runQuick(t, "fig16", "Figure 16", "mantle-base", "+pathcache", "+follower read")
+}
+func TestFig17Quick(t *testing.T)  { runQuick(t, "fig17", "Figure 17", "d=10") }
+func TestFig18Quick(t *testing.T)  { runQuick(t, "fig18", "Figure 18", "k=3", "no cache") }
+func TestFig19aQuick(t *testing.T) { runQuick(t, "fig19a", "Figure 19a", "entries") }
+func TestFig19bQuick(t *testing.T) {
+	runQuick(t, "fig19b", "Figure 19b", "+learners", "create")
+}
+func TestFig10Quick(t *testing.T) { runQuick(t, "fig10", "Figure 10", "+data") }
+func TestFig11Quick(t *testing.T) { runQuick(t, "fig11", "Figure 11", "dirrename", "p99") }
+func TestFig20Quick(t *testing.T) {
+	runQuick(t, "fig20", "Figure 20", "infinifs+cache", "mantle+cache")
+}
+func TestTable3Quick(t *testing.T) {
+	runQuick(t, "tab3", "Table 3", "C1", "peak lookup")
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Func runs one experiment.
+type Func func(p Params) error
+
+// Registry maps experiment ids (paper table/figure numbers) to their
+// drivers.
+var Registry = map[string]Func{
+	"fig3":   Fig3,
+	"fig4a":  Fig4a,
+	"fig4b":  Fig4b,
+	"tab1":   Table1,
+	"tab2":   Table2,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"fig17":  Fig17,
+	"fig18":  Fig18,
+	"fig19a": Fig19a,
+	"fig19b": Fig19b,
+	"fig20":  Fig20,
+	"tab3":   Table3,
+}
+
+// All returns the experiment ids in a stable order.
+func All() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the given experiments (all when ids is empty).
+func Run(ids []string, p Params) error {
+	if len(ids) == 0 {
+		ids = All()
+	}
+	p = p.WithDefaults()
+	for _, id := range ids {
+		fn, ok := Registry[id]
+		if !ok {
+			return fmt.Errorf("experiments: unknown id %q (known: %v)", id, All())
+		}
+		start := time.Now()
+		fmt.Fprintf(p.Out, "\n######## %s ########\n", id)
+		if err := fn(p); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Fprintf(p.Out, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

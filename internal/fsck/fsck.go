@@ -1,0 +1,225 @@
+// Package fsck verifies the cross-component invariants of a Mantle
+// deployment — the consistency contract between IndexNode's access
+// metadata and TafDB's complete metadata that the coordination protocols
+// of §4–5 maintain:
+//
+//  1. every IndexNode directory entry has a matching TafDB access row
+//     (same id, kind directory) and a primary attribute row;
+//  2. every TafDB directory access row appears in IndexNode;
+//  3. IndexNode's reverse index agrees with its forward index;
+//  4. every directory's link count (after delta compaction) equals its
+//     actual child count in TafDB;
+//  5. every row's parent chain reaches the namespace root (no orphans);
+//  6. no dangling delta records (each delta's directory exists).
+//
+// It is both a library (tests call Check after failure injection and
+// randomized workloads) and the engine behind the mantled gateway's
+// /fsck endpoint.
+package fsck
+
+import (
+	"fmt"
+	"sort"
+
+	"mantle/internal/core"
+	"mantle/internal/storage"
+	"mantle/internal/types"
+)
+
+// Issue is one detected inconsistency.
+type Issue struct {
+	Check string
+	Pid   types.InodeID
+	Name  string
+	Why   string
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("[%s] %d/%s: %s", i.Check, uint64(i.Pid), i.Name, i.Why)
+}
+
+// Report is a full consistency scan result.
+type Report struct {
+	Dirs    int
+	Objects int
+	Deltas  int
+	Issues  []Issue
+}
+
+// OK reports whether the namespace is consistent.
+func (r *Report) OK() bool { return len(r.Issues) == 0 }
+
+// String summarises the report.
+func (r *Report) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("%d ISSUES", len(r.Issues))
+	}
+	return fmt.Sprintf("fsck: %s (%d dirs, %d objects, %d live deltas)",
+		status, r.Dirs, r.Objects, r.Deltas)
+}
+
+func (r *Report) add(check string, pid types.InodeID, name, why string, args ...any) {
+	r.Issues = append(r.Issues, Issue{
+		Check: check, Pid: pid, Name: name, Why: fmt.Sprintf(why, args...),
+	})
+}
+
+// Check scans the deployment. It takes direct (uncharged) reads of every
+// shard and the IndexNode leader's table; run it on a quiesced namespace,
+// as a production fsck would.
+func Check(m *core.Mantle) *Report {
+	rep := &Report{}
+	db := m.DB()
+	leader := m.Index().Leader()
+	if leader == nil {
+		rep.add("leader", 0, "", "IndexNode group has no leader")
+		return rep
+	}
+	table := leader.Table()
+
+	// Pass 1: walk all TafDB rows.
+	type dirInfo struct {
+		children  int64
+		linkCount int64
+		hasAttr   bool
+		pid       types.InodeID // from access row
+		name      string
+	}
+	dirs := map[types.InodeID]*dirInfo{types.RootID: {hasAttr: false}}
+	info := func(id types.InodeID) *dirInfo {
+		d, ok := dirs[id]
+		if !ok {
+			d = &dirInfo{}
+			dirs[id] = d
+		}
+		return d
+	}
+	var objects []types.Entry
+	db.ForEachRow(func(row storage.Row) {
+		e := row.Entry
+		switch {
+		case len(e.Name) > 0 && e.Name[0] == 0: // internal rows
+			if isAttrPrimary(e.Name) {
+				d := info(e.Pid)
+				d.hasAttr = true
+				d.linkCount += e.Attr.LinkCount
+			} else { // delta record
+				rep.Deltas++
+				d := info(e.Pid)
+				d.linkCount += e.Attr.LinkCount
+			}
+		case e.IsDir():
+			rep.Dirs++
+			d := info(e.ID)
+			d.pid, d.name = e.Pid, e.Name
+			info(e.Pid).children++
+		default:
+			rep.Objects++
+			objects = append(objects, e)
+			info(e.Pid).children++
+		}
+	})
+
+	// Check 1/2: IndexNode ↔ TafDB access rows.
+	table.ForEach(func(ae types.AccessEntry) bool {
+		d, ok := dirs[ae.ID]
+		if !ok || (d.name == "" && ae.ID != types.RootID) {
+			rep.add("index-extra", ae.Pid, ae.Name,
+				"IndexNode entry id=%d has no TafDB directory row", ae.ID)
+			return true
+		}
+		if ae.ID != types.RootID && (d.pid != ae.Pid || d.name != ae.Name) {
+			rep.add("index-mismatch", ae.Pid, ae.Name,
+				"IndexNode places id=%d at %d/%s but TafDB has %d/%s",
+				ae.ID, ae.Pid, ae.Name, d.pid, d.name)
+		}
+		return true
+	})
+	for id, d := range dirs {
+		if id == types.RootID || d.name == "" {
+			continue // root, or attr-only record checked below
+		}
+		if _, ok := table.Get(d.pid, d.name); !ok {
+			rep.add("index-missing", d.pid, d.name,
+				"TafDB directory id=%d missing from IndexNode", id)
+		}
+	}
+
+	// Check 3: reverse index agreement.
+	table.ForEach(func(ae types.AccessEntry) bool {
+		rev, ok := table.GetByID(ae.ID)
+		if !ok || rev.Pid != ae.Pid || rev.Name != ae.Name {
+			rep.add("reverse-index", ae.Pid, ae.Name,
+				"reverse entry for id=%d is %v/%q", ae.ID, rev.Pid, rev.Name)
+		}
+		return true
+	})
+
+	// Check 4: attribute rows and link counts.
+	for id, d := range dirs {
+		if id != types.RootID && d.name != "" && !d.hasAttr {
+			rep.add("attr-missing", d.pid, d.name,
+				"directory id=%d has no primary attribute row", id)
+		}
+		if d.name == "" && id != types.RootID && d.hasAttr {
+			// Attribute rows whose directory access row is gone.
+			rep.add("attr-orphan", id, "",
+				"attribute record for id=%d has no access row", id)
+			continue
+		}
+		if d.hasAttr && d.linkCount != d.children {
+			rep.add("linkcount", d.pid, d.name,
+				"directory id=%d link count %d != %d children", id, d.linkCount, d.children)
+		}
+	}
+
+	// Check 5: parent chains reach the root.
+	reach := map[types.InodeID]int8{} // 0 unknown, 1 reachable, -1 broken
+	var walk func(id types.InodeID, depth int) int8
+	walk = func(id types.InodeID, depth int) int8 {
+		if id == types.RootID {
+			return 1
+		}
+		if depth > 1<<16 {
+			return -1
+		}
+		if v := reach[id]; v != 0 {
+			return v
+		}
+		d, ok := dirs[id]
+		if !ok || d.name == "" {
+			reach[id] = -1
+			return -1
+		}
+		reach[id] = walk(d.pid, depth+1)
+		return reach[id]
+	}
+	for id, d := range dirs {
+		if id != types.RootID && d.name != "" && walk(id, 0) != 1 {
+			rep.add("orphan", d.pid, d.name, "directory id=%d unreachable from root", id)
+		}
+	}
+	for _, o := range objects {
+		if walk(o.Pid, 0) != 1 {
+			rep.add("orphan", o.Pid, o.Name, "object under unreachable directory %d", o.Pid)
+		}
+	}
+
+	sort.Slice(rep.Issues, func(i, j int) bool {
+		a, b := rep.Issues[i], rep.Issues[j]
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		return a.Name < b.Name
+	})
+	return rep
+}
+
+// isAttrPrimary distinguishes "\x00attr" from "\x00attr\x00TS" deltas.
+func isAttrPrimary(name string) bool {
+	return name == "\x00attr"
+}

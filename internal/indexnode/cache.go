@@ -1,0 +1,119 @@
+package indexnode
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mantle/internal/types"
+)
+
+// CacheEntry is a TopDirPathCache value: the resolution result for a
+// truncated path prefix — the directory's ID and the aggregated
+// permission mask of the whole prefix, intersected per the Lazy-Hybrid
+// approach (§5.1.1).
+type CacheEntry struct {
+	ID   types.InodeID
+	Perm types.Perm
+}
+
+// TopDirPathCache is the in-memory hash table mapping full path prefixes
+// to their resolution results (Figure 6). Entries are static — there is
+// no promotion, demotion, or eviction policy; stale entries are removed
+// only by the Invalidator. The k-truncation rule (callers cache only
+// prefixes ending at least k levels above the leaf) keeps the cached
+// region of the namespace stable, because production renames concentrate
+// near the leaves.
+type TopDirPathCache struct {
+	stripes [cacheStripes]cacheStripe
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+const cacheStripes = 64
+
+type cacheStripe struct {
+	mu sync.RWMutex
+	m  map[string]CacheEntry
+}
+
+// NewTopDirPathCache creates an empty cache.
+func NewTopDirPathCache() *TopDirPathCache {
+	c := &TopDirPathCache{}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[string]CacheEntry)
+	}
+	return c
+}
+
+func (c *TopDirPathCache) stripeFor(path string) *cacheStripe {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= 1099511628211
+	}
+	return &c.stripes[h%cacheStripes]
+}
+
+// Get returns the cached resolution of prefix.
+func (c *TopDirPathCache) Get(prefix string) (CacheEntry, bool) {
+	s := c.stripeFor(prefix)
+	s.mu.RLock()
+	e, ok := s.m[prefix]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Put stores the resolution of prefix.
+func (c *TopDirPathCache) Put(prefix string, e CacheEntry) {
+	s := c.stripeFor(prefix)
+	s.mu.Lock()
+	s.m[prefix] = e
+	s.mu.Unlock()
+}
+
+// Delete removes prefix, reporting whether it was present.
+func (c *TopDirPathCache) Delete(prefix string) bool {
+	s := c.stripeFor(prefix)
+	s.mu.Lock()
+	_, ok := s.m[prefix]
+	delete(s.m, prefix)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of cached prefixes.
+func (c *TopDirPathCache) Len() int {
+	n := 0
+	for i := range c.stripes {
+		c.stripes[i].mu.RLock()
+		n += len(c.stripes[i].m)
+		c.stripes[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *TopDirPathCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// MemoryBytes estimates the cache's memory footprint: per entry, the
+// path string plus the 16-byte value and map overhead. Used by the
+// Figure 18 k-sweep.
+func (c *TopDirPathCache) MemoryBytes() int64 {
+	var total int64
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.RLock()
+		for k := range s.m {
+			total += int64(len(k)) + 16 + 32
+		}
+		s.mu.RUnlock()
+	}
+	return total
+}

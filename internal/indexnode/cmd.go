@@ -1,0 +1,129 @@
+package indexnode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"mantle/internal/types"
+)
+
+// CmdKind discriminates the replicated IndexNode commands.
+type CmdKind uint8
+
+const (
+	// CmdAddDir inserts a directory's access entry (mkdir).
+	CmdAddDir CmdKind = iota + 1
+	// CmdRemoveDir removes a directory's access entry (rmdir).
+	CmdRemoveDir
+	// CmdRename moves a directory's access entry across parents and
+	// carries the source path for cache invalidation.
+	CmdRename
+	// CmdSetPerm updates a directory's permission and carries its path
+	// for cache invalidation.
+	CmdSetPerm
+)
+
+// Cmd is a replicated IndexNode state-machine command. Invalidation paths
+// ride in the Raft log, as §5.1.3 requires, so followers and learners
+// invalidate their local TopDirPathCaches when the log applies.
+type Cmd struct {
+	Kind    CmdKind
+	Pid     types.InodeID // parent of the (src) entry
+	Name    string        // (src) entry name
+	ID      types.InodeID // directory ID
+	Perm    types.Perm
+	DstPid  types.InodeID // rename destination parent
+	DstName string        // rename destination name
+	Path    string        // full path for invalidation (rename src, setperm target, rmdir target)
+	LockID  string        // rename lock owner to clear on commit
+}
+
+// Encode serialises the command with a compact length-prefixed binary
+// layout.
+func (c Cmd) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(c.Kind))
+	var tmp [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf.Write(tmp[:])
+	}
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(s)))
+		buf.Write(tmp[:4])
+		buf.WriteString(s)
+	}
+	writeU64(uint64(c.Pid))
+	writeU64(uint64(c.ID))
+	writeU64(uint64(c.DstPid))
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(c.Perm))
+	buf.Write(tmp[:2])
+	writeStr(c.Name)
+	writeStr(c.DstName)
+	writeStr(c.Path)
+	writeStr(c.LockID)
+	return buf.Bytes()
+}
+
+// DecodeCmd parses an encoded command.
+func DecodeCmd(b []byte) (Cmd, error) {
+	var c Cmd
+	if len(b) < 1 {
+		return c, fmt.Errorf("indexnode: empty command")
+	}
+	c.Kind = CmdKind(b[0])
+	b = b[1:]
+	readU64 := func() (uint64, error) {
+		if len(b) < 8 {
+			return 0, fmt.Errorf("indexnode: truncated command")
+		}
+		v := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		return v, nil
+	}
+	readStr := func() (string, error) {
+		if len(b) < 4 {
+			return "", fmt.Errorf("indexnode: truncated command")
+		}
+		n := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return "", fmt.Errorf("indexnode: truncated string")
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, nil
+	}
+	pid, err := readU64()
+	if err != nil {
+		return c, err
+	}
+	id, err := readU64()
+	if err != nil {
+		return c, err
+	}
+	dstPid, err := readU64()
+	if err != nil {
+		return c, err
+	}
+	if len(b) < 2 {
+		return c, fmt.Errorf("indexnode: truncated command")
+	}
+	c.Perm = types.Perm(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	c.Pid, c.ID, c.DstPid = types.InodeID(pid), types.InodeID(id), types.InodeID(dstPid)
+	if c.Name, err = readStr(); err != nil {
+		return c, err
+	}
+	if c.DstName, err = readStr(); err != nil {
+		return c, err
+	}
+	if c.Path, err = readStr(); err != nil {
+		return c, err
+	}
+	if c.LockID, err = readStr(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

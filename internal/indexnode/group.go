@@ -1,0 +1,402 @@
+package indexnode
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mantle/internal/netsim"
+	"mantle/internal/raft"
+	"mantle/internal/rpc"
+	"mantle/internal/types"
+)
+
+// Config parameterises an IndexNode Raft group for one namespace.
+type Config struct {
+	// Voters is the number of voting replicas (the paper deploys 3).
+	Voters int
+	// Learners is the number of non-voting read replicas (§5.1.3).
+	Learners int
+	// K is the TopDirPathCache truncation distance (production: 3).
+	K int
+	// CacheEnabled gates TopDirPathCache ("+pathcache" ablation).
+	CacheEnabled bool
+	// FollowerRead routes lookups across followers and learners
+	// ("+follower read" ablation).
+	FollowerRead bool
+	// Workers is the CPU worker count per replica node.
+	Workers int
+	// LookupBaseCost/LookupLevelCost model path-resolution CPU: a fixed
+	// RPC handling cost plus one IndexTable access per level actually
+	// walked — the cost TopDirPathCache saves.
+	LookupBaseCost  time.Duration
+	LookupLevelCost time.Duration
+	// WriteCost is the CPU charge for directory-modification RPCs.
+	WriteCost time.Duration
+	// FsyncCost, BatchEnabled, MaxBatch configure the Raft log
+	// ("+raftlogbatch" ablation).
+	FsyncCost    time.Duration
+	BatchEnabled bool
+	MaxBatch     int
+	// SnapshotThreshold triggers Raft log compaction after this many
+	// applied entries (0 = default of 8192; negative disables).
+	SnapshotThreshold int
+	// ElectionTimeout overrides the Raft election timeout. In-process
+	// deployments under heavy simulated load raise it so scheduler
+	// starvation cannot masquerade as leader failure.
+	ElectionTimeout time.Duration
+	// HeartbeatInterval overrides the leader's idle heartbeat period.
+	HeartbeatInterval time.Duration
+	// Fabric supplies network latency.
+	Fabric *netsim.Fabric
+	// Name prefixes replica identifiers (one group per namespace).
+	Name string
+	// Nodes, when provided (length Voters+Learners), hosts the replicas
+	// on pre-existing CPU nodes instead of dedicated ones — the §7.2
+	// co-location deployment, where many namespaces' IndexNode replicas
+	// share a server pool (see internal/pool).
+	Nodes []*netsim.Node
+}
+
+func (c Config) withDefaults() Config {
+	if c.Voters <= 0 {
+		c.Voters = 3
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.Fabric == nil {
+		c.Fabric = netsim.NewLocalFabric()
+	}
+	if c.Name == "" {
+		c.Name = "indexnode"
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.SnapshotThreshold == 0 {
+		c.SnapshotThreshold = 8192
+	} else if c.SnapshotThreshold < 0 {
+		c.SnapshotThreshold = 0
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	return c
+}
+
+// retryWindow bounds how long proxy-side calls chase a leader across
+// elections before giving up.
+const retryWindow = 5 * time.Second
+
+// Group is the per-namespace IndexNode service: a Raft group of replicas
+// each holding the full directory access-metadata index, serving
+// single-RPC lookups and coordinating directory mutations.
+type Group struct {
+	cfg      Config
+	replicas []*Replica
+	rafts    []*raft.Raft
+	nodes    []*netsim.Node
+	rr       atomic.Uint64
+}
+
+// NewGroup builds, starts, and elects the group.
+func NewGroup(cfg Config) (*Group, error) {
+	cfg = cfg.withDefaults()
+	g := &Group{cfg: cfg}
+	n := cfg.Voters + cfg.Learners
+	raftCfgs := make([]raft.Config, n)
+	for i := 0; i < n; i++ {
+		rep := NewReplica(cfg.K, cfg.CacheEnabled)
+		var node *netsim.Node
+		if len(cfg.Nodes) == n {
+			node = cfg.Nodes[i]
+		} else {
+			node = netsim.NewNode(fmt.Sprintf("%s-%d", cfg.Name, i), cfg.Workers)
+		}
+		g.replicas = append(g.replicas, rep)
+		g.nodes = append(g.nodes, node)
+		raftCfgs[i] = raft.Config{
+			ID:                fmt.Sprintf("%s-%d", cfg.Name, i),
+			Learner:           i >= cfg.Voters,
+			Fabric:            cfg.Fabric,
+			Node:              node,
+			ElectionTimeout:   cfg.ElectionTimeout,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			FsyncCost:         cfg.FsyncCost,
+			BatchEnabled:      cfg.BatchEnabled,
+			MaxBatch:          cfg.MaxBatch,
+			SnapshotThreshold: cfg.SnapshotThreshold,
+			SM:                rep,
+		}
+	}
+	g.rafts = raft.NewGroup(raftCfgs)
+	if _, err := raft.WaitLeader(g.rafts, 10*time.Second); err != nil {
+		g.Stop()
+		return nil, err
+	}
+	return g, nil
+}
+
+// Stop shuts the group down.
+func (g *Group) Stop() {
+	for _, r := range g.rafts {
+		r.Stop()
+	}
+	for _, rep := range g.replicas {
+		rep.Close()
+	}
+}
+
+// leaderIndex returns the index of the current live leader, or -1.
+func (g *Group) leaderIndex() int {
+	for i, r := range g.rafts {
+		if r.Stopped() {
+			continue
+		}
+		if role, _, _ := r.Status(); role == raft.Leader {
+			return i
+		}
+	}
+	return -1
+}
+
+// Leader returns the leader replica (tests and stats).
+func (g *Group) Leader() *Replica {
+	if i := g.leaderIndex(); i >= 0 {
+		return g.replicas[i]
+	}
+	return nil
+}
+
+// Replicas returns all replicas (stats).
+func (g *Group) Replicas() []*Replica { return g.replicas }
+
+// Nodes returns the replica CPU nodes (utilisation reporting).
+func (g *Group) Nodes() []*netsim.Node { return g.nodes }
+
+// BulkAdd populates every replica's IndexTable directly (experiment
+// setup; bypasses Raft deterministically on all replicas).
+func (g *Group) BulkAdd(entries []types.AccessEntry) {
+	for _, rep := range g.replicas {
+		rep.BulkAdd(entries)
+	}
+}
+
+// lookupCost computes the CPU charge for a resolution that walked the
+// given number of IndexTable levels.
+func (g *Group) lookupCost(levels int) time.Duration {
+	return g.cfg.LookupBaseCost + time.Duration(levels)*g.cfg.LookupLevelCost
+}
+
+// readTargets returns the replica indices eligible to serve lookups.
+func (g *Group) readTargets() []int {
+	li := g.leaderIndex()
+	if !g.cfg.FollowerRead {
+		if li < 0 {
+			return nil
+		}
+		return []int{li}
+	}
+	out := make([]int, len(g.replicas))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Lookup resolves an absolute directory path in a single proxy RPC
+// (Figure 7), optionally served by a follower or learner under
+// ReadIndex consistency (§5.1.3). Returns the directory's ID, the
+// aggregated path permission, and whether the serving replica hit its
+// TopDirPathCache.
+func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
+	var res LookupResult
+	var lastErr error
+	deadline := time.Now().Add(retryWindow)
+	for attempt := 0; attempt == 0 || time.Now().Before(deadline); attempt++ {
+		targets := g.readTargets()
+		if len(targets) == 0 {
+			time.Sleep(5 * time.Millisecond)
+			lastErr = types.ErrNotLeader
+			continue
+		}
+		idx := targets[int(g.rr.Add(1))%len(targets)]
+		rep, rf, node := g.replicas[idx], g.rafts[idx], g.nodes[idx]
+		if rf.Stopped() {
+			lastErr = types.ErrStopped
+			continue
+		}
+		var err error
+		callErr := op.Call(node, 0, func() error {
+			serve := func() error {
+				var lerr error
+				res, lerr = rep.Lookup(path)
+				node.Charge(g.lookupCost(res.Levels))
+				return lerr
+			}
+			// ConsistentRead on the leader is local (its own commit
+			// index + apply wait) and protects reads right after a
+			// leadership change, when a new leader may not yet have
+			// applied everything committed by its predecessor.
+			err = rf.ConsistentRead(serve)
+			return nil
+		})
+		if callErr != nil {
+			return res, callErr
+		}
+		if err == nil {
+			return res, nil
+		}
+		if errors.Is(err, types.ErrNotLeader) || errors.Is(err, types.ErrStopped) {
+			lastErr = err
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		return res, err
+	}
+	return res, fmt.Errorf("indexnode lookup %s: %w", path, lastErr)
+}
+
+// propose submits a command through the current leader with retry across
+// leader changes. One proxy RPC per attempt.
+func (g *Group) propose(op *rpc.Op, c Cmd) error {
+	payload := c.Encode()
+	var lastErr error
+	deadline := time.Now().Add(retryWindow)
+	for attempt := 0; attempt == 0 || time.Now().Before(deadline); attempt++ {
+		li := g.leaderIndex()
+		if li < 0 {
+			time.Sleep(5 * time.Millisecond)
+			lastErr = types.ErrNotLeader
+			continue
+		}
+		var err error
+		callErr := op.Call(g.nodes[li], g.cfg.WriteCost, func() error {
+			_, err = g.rafts[li].Propose(payload)
+			return nil
+		})
+		if callErr != nil {
+			return callErr
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, types.ErrNotLeader) || errors.Is(err, types.ErrStopped) {
+			// Leadership moved (or the old leader crashed): find the new
+			// leader and retry. Commands are idempotent at the state-
+			// machine level (puts/deletes of specific entries).
+			lastErr = err
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("indexnode propose: %w", lastErr)
+}
+
+// KillLeader crash-stops the current leader replica (failure injection;
+// returns false if no leader). The remaining voters elect a new leader
+// and service continues.
+func (g *Group) KillLeader() bool {
+	li := g.leaderIndex()
+	if li < 0 {
+		return false
+	}
+	g.rafts[li].Stop()
+	return true
+}
+
+// AddDir replicates a new directory's access entry (mkdir commit).
+func (g *Group) AddDir(op *rpc.Op, pid types.InodeID, name string, id types.InodeID, perm types.Perm) error {
+	return g.propose(op, Cmd{Kind: CmdAddDir, Pid: pid, Name: name, ID: id, Perm: perm})
+}
+
+// RemoveDir replicates a directory removal (rmdir commit); path drives
+// the exact-entry cache invalidation.
+func (g *Group) RemoveDir(op *rpc.Op, pid types.InodeID, name string, id types.InodeID, path string) error {
+	return g.propose(op, Cmd{Kind: CmdRemoveDir, Pid: pid, Name: name, ID: id, Path: path})
+}
+
+// SetPerm replicates a permission change; path drives subtree cache
+// invalidation on every replica.
+func (g *Group) SetPerm(op *rpc.Op, id types.InodeID, perm types.Perm, path string) error {
+	return g.propose(op, Cmd{Kind: CmdSetPerm, ID: id, Perm: perm, Path: path})
+}
+
+// PrepareRename runs Figure 9 steps 1–7 on the leader in one RPC.
+func (g *Group) PrepareRename(op *rpc.Op, srcPath, dstParentPath, dstName, lockID string) (RenamePrep, error) {
+	var prep RenamePrep
+	var lastErr error
+	deadline := time.Now().Add(retryWindow)
+	for attempt := 0; attempt == 0 || time.Now().Before(deadline); attempt++ {
+		li := g.leaderIndex()
+		if li < 0 {
+			time.Sleep(5 * time.Millisecond)
+			lastErr = types.ErrNotLeader
+			continue
+		}
+		rep, rf, node := g.replicas[li], g.rafts[li], g.nodes[li]
+		var err error
+		callErr := op.Call(node, 0, func() error {
+			cerr := rf.ConsistentRead(func() error {
+				prep, err = rep.PrepareRename(srcPath, dstParentPath, dstName, lockID)
+				node.Charge(g.lookupCost(prep.Levels))
+				return nil
+			})
+			if cerr != nil {
+				err = cerr
+			}
+			return nil
+		})
+		if callErr != nil {
+			return prep, callErr
+		}
+		return prep, err
+	}
+	return prep, fmt.Errorf("indexnode prepare rename: %w", lastErr)
+}
+
+// CommitRename replicates the rename through Raft: every replica moves
+// the entry, clears the lock (leader), and invalidates its cache under
+// the source path.
+func (g *Group) CommitRename(op *rpc.Op, prep RenamePrep, dstName, srcPath, lockID string) error {
+	return g.propose(op, Cmd{
+		Kind: CmdRename,
+		Pid:  prep.SrcPid, Name: prep.SrcName, ID: prep.SrcID, Perm: prep.SrcPerm,
+		DstPid: prep.DstPid, DstName: dstName,
+		Path: srcPath, LockID: lockID,
+	})
+}
+
+// AbortRename unwinds a prepared rename on the leader (one RPC).
+func (g *Group) AbortRename(op *rpc.Op, srcID types.InodeID, srcPath, lockID string) error {
+	li := g.leaderIndex()
+	if li < 0 {
+		return types.ErrNotLeader
+	}
+	return op.Call(g.nodes[li], g.cfg.WriteCost, func() error {
+		g.replicas[li].AbortRename(srcID, srcPath, lockID)
+		return nil
+	})
+}
+
+// CacheStats aggregates TopDirPathCache statistics across replicas.
+func (g *Group) CacheStats() (entries int, bytes int64, hits, misses int64) {
+	for _, rep := range g.replicas {
+		entries += rep.cache.Len()
+		bytes += rep.cache.MemoryBytes()
+		h, m := rep.cache.Stats()
+		hits += h
+		misses += m
+	}
+	return
+}
+
+// Rafts exposes the group's raft replicas (stats and failure injection in
+// tests and tools).
+func (g *Group) Rafts() []*raft.Raft { return g.rafts }

@@ -1,0 +1,417 @@
+package indexnode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mantle/internal/pathutil"
+	"mantle/internal/types"
+)
+
+// Replica is one IndexNode replica: the IndexTable, TopDirPathCache, and
+// Invalidator, mutated exclusively through the Raft apply thread (plus
+// bulk population before experiments). Rename lock bits are
+// leader-volatile state: they are not replicated, vanish on failover,
+// and are re-acquired by the proxy's idempotent retry with its request
+// UUID (§5.3).
+type Replica struct {
+	table atomic.Pointer[IndexTable]
+	cache *TopDirPathCache
+	inv   *Invalidator
+
+	// k is the TopDirPathCache truncation distance (§5.1.1).
+	k int
+	// cacheEnabled gates TopDirPathCache (the "+pathcache" ablation).
+	cacheEnabled bool
+
+	// Rename locks: directory ID → owning request UUID.
+	lockMu sync.Mutex
+	locks  map[types.InodeID]string
+}
+
+// NewReplica builds an empty replica with truncation distance k.
+func NewReplica(k int, cacheEnabled bool) *Replica {
+	cache := NewTopDirPathCache()
+	r := &Replica{
+		cache:        cache,
+		inv:          NewInvalidator(cache),
+		k:            k,
+		cacheEnabled: cacheEnabled,
+		locks:        make(map[types.InodeID]string),
+	}
+	r.table.Store(NewIndexTable())
+	return r
+}
+
+// Close stops the replica's invalidator.
+func (r *Replica) Close() { r.inv.Stop() }
+
+// Table exposes the IndexTable (read-mostly; used by tests and stats).
+func (r *Replica) Table() *IndexTable { return r.table.Load() }
+
+// Cache exposes the TopDirPathCache.
+func (r *Replica) Cache() *TopDirPathCache { return r.cache }
+
+// Invalidator exposes the invalidator.
+func (r *Replica) Invalidator() *Invalidator { return r.inv }
+
+// Apply is the Raft state-machine hook: it decodes and applies one
+// replicated command, bumping the modification epoch and driving cache
+// invalidation exactly as §5.1.3 prescribes (invalidation info rides in
+// the log, so follower and learner caches stay coherent).
+func (r *Replica) Apply(_ uint64, cmd []byte) {
+	c, err := DecodeCmd(cmd)
+	if err != nil {
+		// A corrupt replicated command is unrecoverable state divergence.
+		panic(fmt.Sprintf("indexnode: apply: %v", err))
+	}
+	switch c.Kind {
+	case CmdAddDir:
+		// A new directory cannot invalidate any cached prefix (prefixes
+		// resolve existing ancestors), so no epoch bump: the paper's
+		// condition (b) tracks RemovalList-relevant modifications only,
+		// and bumping here would needlessly suppress cache fills during
+		// mkdir-heavy workloads.
+		r.table.Load().Put(types.AccessEntry{Pid: c.Pid, Name: c.Name, ID: c.ID, Perm: c.Perm})
+	case CmdRemoveDir:
+		r.table.Load().Delete(c.Pid, c.Name, c.ID)
+		// rmdir fast path: exact-entry invalidation, no RemovalList.
+		r.inv.InvalidateExact(c.Path)
+	case CmdRename:
+		r.inv.BeginModification(c.Path)
+		r.table.Load().Rename(c.Pid, c.Name, c.ID, c.DstPid, c.DstName, c.Perm)
+		if r.unlock(c.ID, c.LockID) {
+			// This replica led the PrepareRename, which holds its own
+			// RemovalList registration; release it alongside the lock.
+			r.inv.AbortModification(c.Path)
+		}
+		r.inv.Invalidate(c.Path)
+	case CmdSetPerm:
+		r.inv.BeginModification(c.Path)
+		r.table.Load().SetPerm(c.ID, c.Perm)
+		r.inv.Invalidate(c.Path)
+	}
+}
+
+// BulkAdd inserts directory entries directly (population before
+// experiments; bypasses Raft on every replica identically).
+func (r *Replica) BulkAdd(entries []types.AccessEntry) {
+	for _, e := range entries {
+		r.table.Load().Put(e)
+	}
+}
+
+// LookupResult is the outcome of a local path resolution.
+type LookupResult struct {
+	ID       types.InodeID // ID of the final directory
+	ParentID types.InodeID // ID of the final directory's parent
+	Perm     types.Perm    // aggregated (intersected) path permission
+	Levels   int           // IndexTable levels walked (CPU-cost driver)
+	Hit      bool          // TopDirPathCache hit
+}
+
+// Lookup resolves an absolute directory path against local state,
+// following the Figure 7 workflow:
+//
+//  1. scan RemovalList; under an in-flight modification, bypass the cache,
+//  2. otherwise consult TopDirPathCache with the k-truncated prefix,
+//  3. resolve the remaining levels through IndexTable,
+//  4. cache the truncated prefix if it was a miss and no modification
+//     raced this lookup (epoch check).
+func (r *Replica) Lookup(path string) (LookupResult, error) {
+	path = pathutil.Clean(path)
+	var res LookupResult
+
+	epoch0 := r.inv.Epoch()
+	blocked := r.inv.Blocked(path)
+
+	startID := types.RootID
+	startPerm := types.PermAll
+	comps := pathutil.Split(path)
+	cachePrefix := ""
+
+	if r.cacheEnabled && !blocked {
+		prefix, suffix := pathutil.TruncatePrefix(path, r.k)
+		if prefix != "/" {
+			if e, ok := r.cache.Get(prefix); ok {
+				res.Hit = true
+				startID, startPerm = e.ID, e.Perm
+				comps = suffix
+			} else {
+				cachePrefix = prefix
+			}
+		}
+	}
+
+	id, perm := startID, startPerm
+	parent := types.RootID
+	for i, name := range comps {
+		e, ok := r.table.Load().Get(id, name)
+		if !ok {
+			return res, fmt.Errorf("lookup %s at %q: %w", path, name, types.ErrNotFound)
+		}
+		res.Levels++
+		parent = id
+		id = e.ID
+		perm = perm.Intersect(e.Perm)
+		// Traversal permission applies to directories entered on the way
+		// to the target; the final component is the target itself, and
+		// its aggregated permission is returned for the caller to check
+		// against the operation's needs.
+		if i < len(comps)-1 && !perm.Allows(types.PermLookup) {
+			return res, fmt.Errorf("lookup %s at %q: %w", path, name, types.ErrPermission)
+		}
+	}
+	res.ID, res.ParentID, res.Perm = id, parent, perm
+
+	// Condition (a): prefix not cached; condition (b): no modification
+	// raced this lookup (timestamp check). Resolve the prefix's own
+	// aggregate from the walk we just did: the prefix is the whole path
+	// minus the last k components, so re-derive its ID/perm by walking
+	// the cached-levels boundary. We already walked from the root in the
+	// miss case, so recompute cheaply.
+	if cachePrefix != "" && r.inv.Epoch() == epoch0 {
+		if pe, pperm, ok := r.resolvePrefix(cachePrefix); ok {
+			r.inv.NoteCached(cachePrefix)
+			r.cache.Put(cachePrefix, CacheEntry{ID: pe, Perm: pperm})
+			// Re-check the epoch: if a modification slipped in between
+			// the check and the insert, conservatively drop the entry.
+			if r.inv.Epoch() != epoch0 {
+				r.cache.Delete(cachePrefix)
+				r.inv.prefix.Remove(cachePrefix)
+			}
+		}
+	}
+	return res, nil
+}
+
+// resolvePrefix walks prefix from the root through IndexTable.
+func (r *Replica) resolvePrefix(prefix string) (types.InodeID, types.Perm, bool) {
+	id := types.RootID
+	perm := types.PermAll
+	for _, name := range pathutil.Split(prefix) {
+		e, ok := r.table.Load().Get(id, name)
+		if !ok {
+			return 0, 0, false
+		}
+		id = e.ID
+		perm = perm.Intersect(e.Perm)
+	}
+	return id, perm, true
+}
+
+// TryLock sets the rename lock bit on directory id for request lockID.
+// Re-acquiring with the same lockID succeeds (idempotent proxy retry,
+// §5.3); a different holder yields types.ErrLocked.
+func (r *Replica) TryLock(id types.InodeID, lockID string) error {
+	r.lockMu.Lock()
+	defer r.lockMu.Unlock()
+	if holder, held := r.locks[id]; held && holder != lockID {
+		return fmt.Errorf("dir %d locked by %s: %w", id, holder, types.ErrLocked)
+	}
+	r.locks[id] = lockID
+	return nil
+}
+
+// IsLocked reports whether id carries a rename lock held by a different
+// request than lockID.
+func (r *Replica) IsLocked(id types.InodeID, lockID string) bool {
+	r.lockMu.Lock()
+	defer r.lockMu.Unlock()
+	holder, held := r.locks[id]
+	return held && holder != lockID
+}
+
+// unlock clears the lock if lockID holds it, reporting whether a lock
+// was actually released (i.e. this replica was the prepare-time leader).
+func (r *Replica) unlock(id types.InodeID, lockID string) bool {
+	r.lockMu.Lock()
+	defer r.lockMu.Unlock()
+	if holder, held := r.locks[id]; held && (holder == lockID || lockID == "") {
+		delete(r.locks, id)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the rename lock held by lockID on id.
+func (r *Replica) Unlock(id types.InodeID, lockID string) { _ = r.unlock(id, lockID) }
+
+// RenamePrep is the result of PrepareRename: everything the proxy needs
+// to run the commit transaction.
+type RenamePrep struct {
+	SrcPid  types.InodeID
+	SrcName string
+	SrcID   types.InodeID
+	SrcPerm types.Perm
+	DstPid  types.InodeID // resolved destination parent
+	Levels  int           // IndexTable levels walked (CPU cost)
+}
+
+// PrepareRename executes Figure 9 steps 1–7 locally on the leader in one
+// RPC: resolve source and destination-parent paths, insert the source
+// path into the RemovalList, lock the source directory, run loop
+// detection (src must not be an ancestor of dst), and check rename locks
+// along the LCA→destination chain. On conflict the operation is unwound
+// and the proxy retries.
+func (r *Replica) PrepareRename(srcPath, dstParentPath, dstName, lockID string) (RenamePrep, error) {
+	var prep RenamePrep
+	srcPath = pathutil.Clean(srcPath)
+	dstParentPath = pathutil.Clean(dstParentPath)
+	if srcPath == "/" {
+		return prep, fmt.Errorf("rename root: %w", types.ErrLoop)
+	}
+
+	// Resolve the source's parent, then the source entry itself.
+	srcParent := pathutil.Dir(srcPath)
+	pres, err := r.Lookup(srcParent)
+	if err != nil {
+		return prep, err
+	}
+	prep.Levels += pres.Levels
+	srcName := pathutil.Base(srcPath)
+	srcEntry, ok := r.table.Load().Get(pres.ID, srcName)
+	if !ok {
+		return prep, fmt.Errorf("rename src %s: %w", srcPath, types.ErrNotFound)
+	}
+	prep.Levels++
+
+	// Resolve the destination parent.
+	dres, err := r.Lookup(dstParentPath)
+	if err != nil {
+		return prep, err
+	}
+	prep.Levels += dres.Levels
+	if !dres.Perm.Allows(types.PermWrite) {
+		return prep, fmt.Errorf("rename into %s: %w", dstParentPath, types.ErrPermission)
+	}
+
+	// Idempotent proxy retry: if this request already holds the lock
+	// from a previous attempt, its RemovalList registration is live too;
+	// do not double-register.
+	r.lockMu.Lock()
+	alreadyHeld := r.locks[srcEntry.ID] == lockID
+	r.lockMu.Unlock()
+
+	// Step 4: shield the source subtree from caching.
+	if !alreadyHeld {
+		r.inv.BeginModification(srcPath)
+	}
+	// Step 5: lock the source directory.
+	if err := r.TryLock(srcEntry.ID, lockID); err != nil {
+		if !alreadyHeld {
+			r.inv.AbortModification(srcPath)
+		}
+		return prep, err
+	}
+	// unwind releases the lock and the (single live) registration —
+	// whether taken by this attempt or inherited from a crashed one.
+	unwind := func(err error) (RenamePrep, error) {
+		r.unlock(srcEntry.ID, lockID)
+		r.inv.AbortModification(srcPath)
+		return prep, err
+	}
+
+	// Loop detection: src must not be an ancestor of (or equal to) the
+	// destination parent.
+	if r.table.Load().IsAncestorID(srcEntry.ID, dres.ID) {
+		return unwind(fmt.Errorf("rename %s under %s: %w", srcPath, dstParentPath, types.ErrLoop))
+	}
+	// Step 6: check locks from the LCA of src and dst down to dst. A
+	// locked ancestor there means a concurrent rename could move the
+	// destination under the source after our check.
+	lca := pathutil.LCA(srcPath, dstParentPath)
+	steps := pathutil.Depth(dstParentPath) - pathutil.Depth(lca)
+	cur := dres.ID
+	for i := 0; i < steps && cur != types.RootID; i++ {
+		if r.IsLocked(cur, lockID) {
+			return unwind(fmt.Errorf("ancestor %d of %s locked: %w", cur, dstParentPath, types.ErrLocked))
+		}
+		e, ok := r.table.Load().GetByID(cur)
+		if !ok {
+			break
+		}
+		cur = e.Pid
+		prep.Levels++
+	}
+
+	// Destination name must be free.
+	if _, exists := r.table.Load().Get(dres.ID, dstName); exists {
+		return unwind(fmt.Errorf("rename dst %s/%s: %w", dstParentPath, dstName, types.ErrExists))
+	}
+
+	prep.SrcPid = pres.ID
+	prep.SrcName = srcName
+	prep.SrcID = srcEntry.ID
+	prep.SrcPerm = srcEntry.Perm
+	prep.DstPid = dres.ID
+	return prep, nil
+}
+
+// AbortRename unwinds a prepared rename that failed downstream (TafDB
+// transaction conflict): clears the lock and the RemovalList entry.
+func (r *Replica) AbortRename(srcID types.InodeID, srcPath, lockID string) {
+	r.unlock(srcID, lockID)
+	r.inv.AbortModification(srcPath)
+}
+
+// Snapshot serialises the replica's IndexTable for Raft log compaction
+// (raft.Snapshotter). Volatile state — TopDirPathCache, the Invalidator's
+// structures, and rename locks — is intentionally excluded: caches
+// rebuild on demand and locks are leader-volatile by design (§5.3).
+func (r *Replica) Snapshot() []byte {
+	var buf bytes.Buffer
+	var tmp [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf.Write(tmp[:])
+	}
+	n := uint64(r.table.Load().Len())
+	writeU64(n)
+	r.table.Load().ForEach(func(e types.AccessEntry) bool {
+		writeU64(uint64(e.Pid))
+		writeU64(uint64(e.ID))
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(e.Perm))
+		buf.Write(tmp[:2])
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.Name)))
+		buf.Write(tmp[:4])
+		buf.WriteString(e.Name)
+		return true
+	})
+	return buf.Bytes()
+}
+
+// Restore replaces the replica's state from a snapshot (raft.Snapshotter)
+// and drops all cached resolution state.
+func (r *Replica) Restore(data []byte) {
+	table := NewIndexTable()
+	if len(data) >= 8 {
+		n := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		for i := uint64(0); i < n && len(data) >= 22; i++ {
+			pid := binary.LittleEndian.Uint64(data)
+			id := binary.LittleEndian.Uint64(data[8:])
+			perm := binary.LittleEndian.Uint16(data[16:])
+			nameLen := binary.LittleEndian.Uint32(data[18:])
+			data = data[22:]
+			if uint32(len(data)) < nameLen {
+				break
+			}
+			name := string(data[:nameLen])
+			data = data[nameLen:]
+			table.Put(types.AccessEntry{
+				Pid: types.InodeID(pid), ID: types.InodeID(id),
+				Perm: types.Perm(perm), Name: name,
+			})
+		}
+	}
+	// Swap in the rebuilt table, then invalidate every cached resolution.
+	r.table.Store(table)
+	r.inv.BumpEpoch()
+	for _, p := range r.inv.prefix.RemoveSubtree("/") {
+		r.cache.Delete(p)
+	}
+}

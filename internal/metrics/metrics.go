@@ -1,0 +1,135 @@
+// Package metrics is a small dependency-free metrics registry: named
+// counters and latency accumulators with a text exposition format, the
+// observability surface a production metadata service needs (the paper's
+// deployment section describes profiling IndexNode CPU and per-namespace
+// peak throughputs; this is the hook such monitoring reads from).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Latency accumulates duration observations: count, sum, and max.
+type Latency struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Observe records one duration.
+func (l *Latency) Observe(d time.Duration) {
+	l.count.Add(1)
+	l.sum.Add(int64(d))
+	for {
+		cur := l.max.Load()
+		if int64(d) <= cur || l.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns count, mean, and max.
+func (l *Latency) Snapshot() (count int64, mean, max time.Duration) {
+	count = l.count.Load()
+	if count > 0 {
+		mean = time.Duration(l.sum.Load() / count)
+	}
+	return count, mean, time.Duration(l.max.Load())
+}
+
+// Registry holds named metrics. The zero value is not usable; create
+// registries with NewRegistry.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	latencies map[string]*Latency
+	gauges    map[string]func() int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		latencies: make(map[string]*Latency),
+		gauges:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Latency returns (creating if needed) the named latency accumulator.
+func (r *Registry) Latency(name string) *Latency {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.latencies[name]
+	if !ok {
+		l = &Latency{}
+		r.latencies[name] = l
+	}
+	return l
+}
+
+// Gauge registers a callback sampled at exposition time.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Write renders the registry in a flat "name value" text format, sorted
+// by name (latency metrics expand to _count/_mean_us/_max_us).
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+3*len(r.latencies)+len(r.gauges))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, l := range r.latencies {
+		count, mean, max := l.Snapshot()
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", name, count),
+			fmt.Sprintf("%s_mean_us %d", name, mean.Microseconds()),
+			fmt.Sprintf("%s_max_us %d", name, max.Microseconds()),
+		)
+	}
+	for name, fn := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, fn()))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Same name returns the same counter.
+	if r.Counter("ops") != c {
+		t.Fatal("counter identity lost")
+	}
+	r.Gauge("live", func() int64 { return 42 })
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ops 5", "live 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	r := NewRegistry()
+	l := r.Latency("lookup")
+	l.Observe(10 * time.Millisecond)
+	l.Observe(30 * time.Millisecond)
+	count, mean, max := l.Snapshot()
+	if count != 2 || mean != 20*time.Millisecond || max != 30*time.Millisecond {
+		t.Fatalf("snapshot = %d %v %v", count, mean, max)
+	}
+	var buf bytes.Buffer
+	_ = r.Write(&buf)
+	for _, want := range []string{"lookup_count 2", "lookup_mean_us 20000", "lookup_max_us 30000"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in %s", want, buf.String())
+		}
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Latency("l").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 8000 {
+		t.Fatalf("counter = %d", r.Counter("c").Value())
+	}
+	count, _, max := r.Latency("l").Snapshot()
+	if count != 8000 || max != 999*time.Microsecond {
+		t.Fatalf("latency = %d %v", count, max)
+	}
+}
+
+func TestWriteSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	var buf bytes.Buffer
+	_ = r.Write(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || lines[0] != "a 1" || lines[1] != "b 1" {
+		t.Fatalf("lines = %v", lines)
+	}
+}

@@ -1,0 +1,188 @@
+// Package netsim provides the simulated cluster fabric that every system
+// in this reproduction runs on: an injected per-RPC network round-trip
+// latency and a per-node CPU capacity model.
+//
+// The paper's testbed is a 53-server cluster on a 25 Gbps network. Two
+// properties of that environment determine the evaluation's shapes:
+//
+//  1. the fixed round-trip cost of each proxy↔metadata-server RPC — path
+//     resolution cost is #RTTs × RTT (Table 1 of the paper), and
+//  2. the finite CPU capacity of each metadata server, which is what
+//     saturates LocoFS's directory server and Mantle's IndexNode leader
+//     (§6.3, §6.5) and what follower/learner reads relieve.
+//
+// netsim models exactly those two things:
+//
+//   - Fabric.RoundTrip sleeps one configured RTT (with optional jitter),
+//     charged once per RPC.
+//   - Node.Exec charges a per-request CPU service time against a fluid
+//     queue with the node's aggregate service rate Workers/serviceTime:
+//     each request is assigned the next available position on the node's
+//     service timeline and sleeps until that position. An unsaturated node
+//     adds (almost) no latency; a saturated node caps throughput at
+//     exactly Workers/serviceTime and queue delay grows, as on real
+//     hardware. No goroutine ever busy-spins, so the model stays accurate
+//     with thousands of simulated clients on a small host.
+//
+// With RTT and costs set to zero the fabric is free, which unit tests use.
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterises a Fabric.
+type Config struct {
+	// RTT is the network round-trip time charged per RPC.
+	RTT time.Duration
+	// Jitter is the fraction of RTT applied as uniform random jitter
+	// (+/- RTT*Jitter/2). Zero disables jitter.
+	Jitter float64
+	// Seed seeds the jitter source. Zero means a fixed default seed so
+	// runs are reproducible.
+	Seed int64
+}
+
+// Fabric is the shared network. It is safe for concurrent use.
+type Fabric struct {
+	rtt    time.Duration
+	jitter float64
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	rpcs atomic.Int64
+}
+
+// NewFabric builds a fabric from cfg.
+func NewFabric(cfg Config) *Fabric {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	return &Fabric{
+		rtt:    cfg.RTT,
+		jitter: cfg.Jitter,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewLocalFabric returns a zero-latency fabric, used by unit tests and by
+// callers that only want RPC counting.
+func NewLocalFabric() *Fabric { return NewFabric(Config{}) }
+
+// RTT returns the configured round-trip time.
+func (f *Fabric) RTT() time.Duration { return f.rtt }
+
+// RoundTrip charges one network round trip: it sleeps the configured RTT
+// (plus jitter) and increments the fabric-wide RPC counter. With RTT zero
+// it only counts.
+func (f *Fabric) RoundTrip() {
+	f.rpcs.Add(1)
+	d := f.rtt
+	if d <= 0 {
+		return
+	}
+	if f.jitter > 0 {
+		f.mu.Lock()
+		frac := (f.rng.Float64() - 0.5) * f.jitter
+		f.mu.Unlock()
+		d += time.Duration(float64(d) * frac)
+	}
+	time.Sleep(d)
+}
+
+// RPCs returns the total number of round trips charged so far.
+func (f *Fabric) RPCs() int64 { return f.rpcs.Load() }
+
+// ResetRPCs zeroes the RPC counter and returns the previous value.
+func (f *Fabric) ResetRPCs() int64 { return f.rpcs.Swap(0) }
+
+// Node models one server's CPU as a fluid queue with a bounded aggregate
+// service rate. Exec(cost) reserves cost/Workers of timeline per request,
+// so the node sustains at most Workers/cost requests per second; beyond
+// that, requests queue and their latency grows, exactly like a saturated
+// server.
+type Node struct {
+	name    string
+	workers int
+
+	mu   sync.Mutex
+	next time.Time // next free position on the service timeline
+
+	busy atomic.Int64 // cumulative modelled CPU time, ns
+	ops  atomic.Int64
+}
+
+// NewNode creates a node with the given number of CPU worker slots.
+// workers <= 0 means unlimited capacity (no queueing, costs ignored).
+func NewNode(name string, workers int) *Node {
+	return &Node{name: name, workers: workers}
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Workers returns the node's configured parallelism.
+func (n *Node) Workers() int { return n.workers }
+
+// Exec runs fn on the node after charging cost of CPU service time
+// against the node's capacity. fn itself should be cheap real work (map
+// and tree operations); the modelled cost dominates. The error from fn is
+// returned unchanged.
+func (n *Node) Exec(cost time.Duration, fn func() error) error {
+	n.Charge(cost)
+	return fn()
+}
+
+// Charge books cost of CPU time on the node's service timeline and blocks
+// until the booked slot is reached. It is exposed separately from Exec for
+// handlers that interleave several charges with real work.
+func (n *Node) Charge(cost time.Duration) {
+	n.ops.Add(1)
+	if cost <= 0 || n.workers <= 0 {
+		return
+	}
+	n.busy.Add(int64(cost))
+	advance := cost / time.Duration(n.workers)
+	n.mu.Lock()
+	now := time.Now()
+	if n.next.Before(now) {
+		n.next = now
+	}
+	start := n.next
+	n.next = n.next.Add(advance)
+	n.mu.Unlock()
+	// Sub-floor waits are absorbed rather than slept: OS timer
+	// granularity (~1ms on stock kernels) would overshoot a short sleep
+	// by far more than the wait itself, distorting the model. The
+	// pacer's timeline still advances, so a saturated node's queue delay
+	// grows past the floor and the throughput cap is enforced exactly.
+	if wait := start.Sub(now); wait > chargeSleepFloor {
+		time.Sleep(wait)
+	}
+}
+
+// chargeSleepFloor is the smallest queue delay worth sleeping for.
+const chargeSleepFloor = 500 * time.Microsecond
+
+// Ops returns the number of requests executed on the node.
+func (n *Node) Ops() int64 { return n.ops.Load() }
+
+// BusyTime returns the cumulative modelled CPU time consumed on the node.
+func (n *Node) BusyTime() time.Duration { return time.Duration(n.busy.Load()) }
+
+// Utilization reports the node's modelled CPU utilisation over the window
+// since a reference instant: busyTime / (elapsed × workers).
+func (n *Node) Utilization(since time.Time) float64 {
+	if n.workers <= 0 {
+		return 0
+	}
+	elapsed := time.Since(since)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.BusyTime()) / (float64(elapsed) * float64(n.workers))
+}

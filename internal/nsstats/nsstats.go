@@ -1,0 +1,79 @@
+// Package nsstats characterises generated namespaces the way §3 of the
+// paper characterises Baidu's production namespaces (Figure 3, Table 3):
+// entry counts, directory ratio, small-object ratio, and the
+// distribution of access-path depths.
+package nsstats
+
+import (
+	"fmt"
+	"sort"
+
+	"mantle/internal/pathutil"
+	"mantle/internal/types"
+	"mantle/internal/workload"
+)
+
+// Stats summarises one namespace.
+type Stats struct {
+	Entries     int
+	Dirs        int
+	Objects     int
+	DirRatio    float64
+	ObjRatio    float64
+	SmallRatio  float64 // objects <= SmallThreshold
+	AvgDepth    float64 // mean object-path depth
+	MedianDepth int
+	MaxDepth    int
+	DepthHist   map[int]int
+}
+
+// SmallThreshold matches the paper's 512 KB small-object cutoff.
+const SmallThreshold = 512 << 10
+
+// Analyze computes Stats for a generated namespace. Object path depth is
+// the directory depth of the object's parent plus one, matching how the
+// paper reports access depths.
+func Analyze(ns *workload.Namespace) Stats {
+	st := Stats{DepthHist: map[int]int{}}
+	st.Dirs = len(ns.Dirs)
+	st.Objects = len(ns.Objects)
+	st.Entries = st.Dirs + st.Objects
+
+	depthOfDir := make(map[types.InodeID]int, len(ns.Dirs))
+	depthOfDir[types.RootID] = 0
+	for _, d := range ns.Dirs {
+		depthOfDir[d.ID] = pathutil.Depth(d.Path)
+	}
+	small := 0
+	var depthSum int
+	var depths []int
+	for _, o := range ns.Objects {
+		if o.Size <= SmallThreshold {
+			small++
+		}
+		d := depthOfDir[o.Pid] + 1
+		st.DepthHist[d]++
+		depthSum += d
+		depths = append(depths, d)
+		if d > st.MaxDepth {
+			st.MaxDepth = d
+		}
+	}
+	if st.Entries > 0 {
+		st.DirRatio = float64(st.Dirs) / float64(st.Entries)
+		st.ObjRatio = float64(st.Objects) / float64(st.Entries)
+	}
+	if st.Objects > 0 {
+		st.SmallRatio = float64(small) / float64(st.Objects)
+		st.AvgDepth = float64(depthSum) / float64(st.Objects)
+		sort.Ints(depths)
+		st.MedianDepth = depths[len(depths)/2]
+	}
+	return st
+}
+
+// String renders the stats as a Figure 3-style summary line.
+func (s Stats) String() string {
+	return fmt.Sprintf("entries=%d dirs=%.1f%% objects=%.1f%% small=%.1f%% avgDepth=%.1f medianDepth=%d maxDepth=%d",
+		s.Entries, s.DirRatio*100, s.ObjRatio*100, s.SmallRatio*100, s.AvgDepth, s.MedianDepth, s.MaxDepth)
+}

@@ -1,0 +1,47 @@
+package nsstats
+
+import (
+	"strings"
+	"testing"
+
+	"mantle/internal/workload"
+)
+
+func TestAnalyze(t *testing.T) {
+	ns := workload.Build(workload.TreeSpec{
+		Clients: 8, Depth: 10, ObjectsPerClient: 100,
+		SmallRatio: 0.6, SmallSize: 64 << 10, LargeSize: 4 << 20, Seed: 7,
+	})
+	st := Analyze(ns)
+	if st.Objects != 800 {
+		t.Fatalf("objects = %d", st.Objects)
+	}
+	if st.Entries != st.Dirs+st.Objects {
+		t.Fatal("entry accounting")
+	}
+	if st.DirRatio+st.ObjRatio < 0.999 || st.DirRatio+st.ObjRatio > 1.001 {
+		t.Fatalf("ratios = %f + %f", st.DirRatio, st.ObjRatio)
+	}
+	// All pre-populated objects live in depth-10 workdirs => depth 11.
+	if st.AvgDepth < 10.9 || st.AvgDepth > 11.1 {
+		t.Fatalf("avg depth = %f", st.AvgDepth)
+	}
+	if st.MedianDepth != 11 || st.MaxDepth != 11 {
+		t.Fatalf("median=%d max=%d", st.MedianDepth, st.MaxDepth)
+	}
+	// Small ratio tracks the spec within sampling noise.
+	if st.SmallRatio < 0.5 || st.SmallRatio > 0.7 {
+		t.Fatalf("small ratio = %f", st.SmallRatio)
+	}
+	if !strings.Contains(st.String(), "avgDepth") {
+		t.Fatal("String() missing fields")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	ns := workload.Build(workload.TreeSpec{Clients: 1, Depth: 3, ObjectsPerClient: 0})
+	st := Analyze(ns)
+	if st.Objects != 0 || st.AvgDepth != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

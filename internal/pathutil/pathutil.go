@@ -1,0 +1,190 @@
+// Package pathutil implements the object-path algebra used throughout the
+// Mantle reproduction: normalisation, component splitting, depth
+// computation, prefix truncation for the TopDirPathCache's k-truncation
+// rule, ancestry tests for rename loop detection, and least-common-ancestor
+// computation for the rename lock-check walk.
+//
+// Paths are slash-separated, always absolute, and never end in a slash
+// (except the root itself, "/").
+package pathutil
+
+import "strings"
+
+// Clean normalises p to canonical form: leading slash, no duplicate or
+// trailing slashes, no "." components. It does not resolve "..", which is
+// not part of the COSS API surface; ".." is treated as a literal name.
+//
+// Already-canonical paths are returned unchanged without allocating —
+// the hot paths (every lookup, every RemovalList scan) re-clean paths
+// that are almost always canonical already.
+func Clean(p string) string {
+	if isCanonical(p) {
+		return p
+	}
+	return slowClean(p)
+}
+
+// isCanonical reports whether p is already in canonical form.
+func isCanonical(p string) bool {
+	if p == "" || p[0] != '/' {
+		return false
+	}
+	if p == "/" {
+		return true
+	}
+	if p[len(p)-1] == '/' {
+		return false
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i] == '/' && p[i-1] == '/' {
+			return false
+		}
+		// A "." component: preceded by '/' and followed by '/' or end.
+		if p[i] == '.' && p[i-1] == '/' && (i == len(p)-1 || p[i+1] == '/') {
+			return false
+		}
+	}
+	return true
+}
+
+func slowClean(p string) string {
+	if p == "" {
+		return "/"
+	}
+	parts := strings.Split(p, "/")
+	out := make([]string, 0, len(parts))
+	for _, c := range parts {
+		if c == "" || c == "." {
+			continue
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// Split returns the cleaned path's components. The root yields an empty
+// slice.
+func Split(p string) []string {
+	p = Clean(p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(p[1:], "/")
+}
+
+// Join builds a cleaned path from components.
+func Join(components ...string) string {
+	return Clean(strings.Join(components, "/"))
+}
+
+// Depth returns the number of components in the cleaned path. The root
+// has depth 0; "/a/b" has depth 2.
+func Depth(p string) int {
+	p = Clean(p)
+	if p == "/" {
+		return 0
+	}
+	return strings.Count(p, "/")
+}
+
+// Base returns the final component of the cleaned path, or "" for root.
+func Base(p string) string {
+	p = Clean(p)
+	if p == "/" {
+		return ""
+	}
+	return p[strings.LastIndexByte(p, '/')+1:]
+}
+
+// Dir returns the parent of the cleaned path. The parent of root is root.
+func Dir(p string) string {
+	p = Clean(p)
+	if p == "/" {
+		return "/"
+	}
+	i := strings.LastIndexByte(p, '/')
+	if i == 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// TruncatePrefix implements the TopDirPathCache k-truncation rule (§5.1.1):
+// given a path of depth N and the empirical constant k, it returns the
+// prefix obtained by removing the final k components, along with the
+// remaining suffix components that must still be resolved level by level.
+// If the path has k or fewer components the prefix is the root and every
+// component remains in the suffix — such paths are never cached.
+func TruncatePrefix(p string, k int) (prefix string, suffix []string) {
+	p = Clean(p)
+	if k < 0 {
+		k = 0
+	}
+	n := Depth(p)
+	cut := n - k
+	if cut <= 0 {
+		return "/", Split(p)
+	}
+	if cut == n {
+		return p, nil
+	}
+	// The prefix of the first cut components ends just before the
+	// (cut+1)-th slash; index arithmetic on the canonical string avoids
+	// the split/join allocations on the lookup hot path.
+	seen := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] == '/' {
+			seen++
+			if seen == cut {
+				return p[:i], strings.Split(p[i+1:], "/")
+			}
+		}
+	}
+	return p, nil // unreachable for canonical paths
+}
+
+// IsAncestor reports whether ancestor is a strict ancestor of p (or equal
+// when allowEqual is set), comparing cleaned paths component-wise.
+func IsAncestor(ancestor, p string, allowEqual bool) bool {
+	a, b := Clean(ancestor), Clean(p)
+	if a == b {
+		return allowEqual
+	}
+	if a == "/" {
+		return true
+	}
+	return strings.HasPrefix(b, a) && len(b) > len(a) && b[len(a)] == '/'
+}
+
+// LCA returns the least common ancestor of two cleaned paths.
+func LCA(a, b string) string {
+	ca, cb := Split(a), Split(b)
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	i := 0
+	for i < n && ca[i] == cb[i] {
+		i++
+	}
+	return Join(ca[:i]...)
+}
+
+// Prefixes returns every strict ancestor prefix of the cleaned path, from
+// the first component down to the parent. "/a/b/c" yields ["/a", "/a/b"].
+func Prefixes(p string) []string {
+	comps := Split(p)
+	if len(comps) <= 1 {
+		return nil
+	}
+	out := make([]string, 0, len(comps)-1)
+	cur := ""
+	for _, c := range comps[:len(comps)-1] {
+		cur = cur + "/" + c
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package pathutil
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClean(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "/"},
+		{"/", "/"},
+		{"//", "/"},
+		{"a", "/a"},
+		{"/a", "/a"},
+		{"/a/", "/a"},
+		{"//a//b///c", "/a/b/c"},
+		{"/a/./b", "/a/b"},
+		{".", "/"},
+		{"/a/b/c/", "/a/b/c"},
+	}
+	for _, c := range cases {
+		if got := Clean(c.in); got != c.want {
+			t.Errorf("Clean(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCleanIdempotent(t *testing.T) {
+	f := func(p string) bool {
+		once := Clean(p)
+		return Clean(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	gen := func(r *rand.Rand) string {
+		n := r.Intn(6)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = string(rune('a' + r.Intn(26)))
+		}
+		return "/" + strings.Join(parts, "/")
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := Clean(gen(r))
+		if got := Join(Split(p)...); got != p {
+			t.Fatalf("Join(Split(%q)) = %q", p, got)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"/", 0}, {"/a", 1}, {"/a/b", 2}, {"a/b/c", 3}, {"//x//y", 2},
+	}
+	for _, c := range cases {
+		if got := Depth(c.in); got != c.want {
+			t.Errorf("Depth(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBaseDir(t *testing.T) {
+	cases := []struct{ in, base, dir string }{
+		{"/", "", "/"},
+		{"/a", "a", "/"},
+		{"/a/b", "b", "/a"},
+		{"/a/b/c", "c", "/a/b"},
+	}
+	for _, c := range cases {
+		if got := Base(c.in); got != c.base {
+			t.Errorf("Base(%q) = %q, want %q", c.in, got, c.base)
+		}
+		if got := Dir(c.in); got != c.dir {
+			t.Errorf("Dir(%q) = %q, want %q", c.in, got, c.dir)
+		}
+	}
+}
+
+func TestTruncatePrefix(t *testing.T) {
+	cases := []struct {
+		in     string
+		k      int
+		prefix string
+		suffix []string
+	}{
+		{"/A/C/E/G/H", 3, "/A/C", []string{"E", "G", "H"}}, // the paper's example
+		{"/a/b", 3, "/", []string{"a", "b"}},
+		{"/a/b", 2, "/", []string{"a", "b"}},
+		{"/a/b/c", 1, "/a/b", []string{"c"}},
+		{"/a/b/c", 0, "/a/b/c", nil},
+		{"/", 2, "/", nil},
+		{"/a", -1, "/a", nil},
+	}
+	for _, c := range cases {
+		prefix, suffix := TruncatePrefix(c.in, c.k)
+		if prefix != c.prefix {
+			t.Errorf("TruncatePrefix(%q,%d) prefix = %q, want %q", c.in, c.k, prefix, c.prefix)
+		}
+		if len(suffix) != len(c.suffix) {
+			t.Errorf("TruncatePrefix(%q,%d) suffix = %v, want %v", c.in, c.k, suffix, c.suffix)
+			continue
+		}
+		for i := range suffix {
+			if suffix[i] != c.suffix[i] {
+				t.Errorf("TruncatePrefix(%q,%d) suffix = %v, want %v", c.in, c.k, suffix, c.suffix)
+			}
+		}
+	}
+}
+
+func TestTruncatePrefixReassembles(t *testing.T) {
+	f := func(rawComps []uint8, k uint8) bool {
+		comps := make([]string, 0, len(rawComps)%8)
+		for _, b := range rawComps {
+			comps = append(comps, string(rune('a'+int(b)%26)))
+			if len(comps) == 8 {
+				break
+			}
+		}
+		p := Join(comps...)
+		prefix, suffix := TruncatePrefix(p, int(k%6))
+		return Join(append(Split(prefix), suffix...)...) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	cases := []struct {
+		a, p       string
+		allowEqual bool
+		want       bool
+	}{
+		{"/", "/a", false, true},
+		{"/a", "/a/b", false, true},
+		{"/a", "/ab", false, false},
+		{"/a/b", "/a", false, false},
+		{"/a", "/a", false, false},
+		{"/a", "/a", true, true},
+		{"/", "/", true, true},
+		{"/", "/", false, false},
+		{"/a/b", "/a/b/c/d", false, true},
+	}
+	for _, c := range cases {
+		if got := IsAncestor(c.a, c.p, c.allowEqual); got != c.want {
+			t.Errorf("IsAncestor(%q,%q,%v) = %v, want %v", c.a, c.p, c.allowEqual, got, c.want)
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"/a/b/c", "/a/b/d", "/a/b"},
+		{"/a/b", "/x/y", "/"},
+		{"/a/b", "/a/b", "/a/b"},
+		{"/a/b/c", "/a", "/a"},
+		{"/", "/a", "/"},
+	}
+	for _, c := range cases {
+		if got := LCA(c.a, c.b); got != c.want {
+			t.Errorf("LCA(%q,%q) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCAIsAncestorOfBoth(t *testing.T) {
+	f := func(sa, sb []uint8) bool {
+		mk := func(bs []uint8) string {
+			comps := make([]string, 0, len(bs)%6)
+			for _, b := range bs {
+				comps = append(comps, string(rune('a'+int(b)%3)))
+				if len(comps) == 6 {
+					break
+				}
+			}
+			return Join(comps...)
+		}
+		a, b := mk(sa), mk(sb)
+		l := LCA(a, b)
+		return IsAncestor(l, a, true) && IsAncestor(l, b, true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	got := Prefixes("/a/b/c")
+	want := []string{"/a", "/a/b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Prefixes(/a/b/c) = %v, want %v", got, want)
+	}
+	if p := Prefixes("/a"); len(p) != 0 {
+		t.Errorf("Prefixes(/a) = %v, want empty", p)
+	}
+	if p := Prefixes("/"); len(p) != 0 {
+		t.Errorf("Prefixes(/) = %v, want empty", p)
+	}
+}
+
+func FuzzClean(f *testing.F) {
+	for _, seed := range []string{"", "/", "//", "/a/b/c", "a//b/", "/./a/./", "a/..", "日本/語"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, p string) {
+		c := Clean(p)
+		// Canonical form invariants.
+		if c == "" || c[0] != '/' {
+			t.Fatalf("Clean(%q) = %q: no leading slash", p, c)
+		}
+		if len(c) > 1 && c[len(c)-1] == '/' {
+			t.Fatalf("Clean(%q) = %q: trailing slash", p, c)
+		}
+		if strings.Contains(c, "//") {
+			t.Fatalf("Clean(%q) = %q: duplicate slash", p, c)
+		}
+		// Idempotence and reassembly.
+		if Clean(c) != c {
+			t.Fatalf("Clean not idempotent on %q -> %q", p, c)
+		}
+		if got := Join(Split(c)...); got != c {
+			t.Fatalf("Join(Split(%q)) = %q", c, got)
+		}
+		// Depth agrees with Split.
+		if Depth(c) != len(Split(c)) {
+			t.Fatalf("Depth(%q)=%d Split len=%d", c, Depth(c), len(Split(c)))
+		}
+	})
+}
+
+func BenchmarkCleanCanonical(b *testing.B) {
+	p := "/mdt/c17/d3/d4/d5/d6/d7/d8/d9/work"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Clean(p) != p {
+			b.Fatal("not canonical")
+		}
+	}
+}
+
+func BenchmarkCleanDirty(b *testing.B) {
+	p := "//mdt//c17/./d3/d4/"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Clean(p)
+	}
+}

@@ -1,0 +1,193 @@
+// Package pool implements the IndexNode co-location strategy of the
+// paper's deployment section (§7.2): a shared pool of physical servers
+// hosts the IndexNode replicas of every namespace. Small namespaces'
+// leaders share servers; hot namespaces get dedicated ones; a
+// rebalancing pass moves leaders (via Raft leadership transfer) so no
+// pool server carries a disproportionate share of leaders.
+package pool
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mantle/internal/indexnode"
+	"mantle/internal/netsim"
+	"mantle/internal/raft"
+)
+
+// Pool is a fixed set of servers hosting IndexNode replicas.
+type Pool struct {
+	nodes []*netsim.Node
+
+	mu         sync.Mutex
+	placements map[string][]int            // namespace -> node index per replica
+	groups     map[string]*indexnode.Group // registered groups (for balancing)
+	load       []int                       // replicas per node
+}
+
+// New creates a pool of n servers with the given CPU workers each.
+func New(n, workersPerNode int) *Pool {
+	p := &Pool{
+		placements: make(map[string][]int),
+		groups:     make(map[string]*indexnode.Group),
+		load:       make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		p.nodes = append(p.nodes, netsim.NewNode(fmt.Sprintf("pool-%d", i), workersPerNode))
+	}
+	return p
+}
+
+// Size returns the number of pool servers.
+func (p *Pool) Size() int { return len(p.nodes) }
+
+// Place assigns replica slots for a namespace across the least-loaded
+// pool servers (one replica per server, the fault isolation a Raft group
+// needs) and returns the chosen nodes, to be passed as
+// indexnode.Config.Nodes.
+func (p *Pool) Place(namespace string, replicas int) ([]*netsim.Node, error) {
+	if replicas > len(p.nodes) {
+		return nil, fmt.Errorf("pool: %d replicas exceed %d pool servers", replicas, len(p.nodes))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.placements[namespace]; dup {
+		return nil, fmt.Errorf("pool: namespace %q already placed", namespace)
+	}
+	// Least-loaded distinct servers.
+	order := make([]int, len(p.nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return p.load[order[a]] < p.load[order[b]] })
+	chosen := order[:replicas]
+	nodes := make([]*netsim.Node, 0, replicas)
+	for _, idx := range chosen {
+		p.load[idx]++
+		nodes = append(nodes, p.nodes[idx])
+	}
+	p.placements[namespace] = append([]int(nil), chosen...)
+	return nodes, nil
+}
+
+// Register associates a started group with its namespace so the balancer
+// can observe and move its leader.
+func (p *Pool) Register(namespace string, g *indexnode.Group) {
+	p.mu.Lock()
+	p.groups[namespace] = g
+	p.mu.Unlock()
+}
+
+// Release frees a namespace's slots (namespace teardown).
+func (p *Pool) Release(namespace string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, idx := range p.placements[namespace] {
+		p.load[idx]--
+	}
+	delete(p.placements, namespace)
+	delete(p.groups, namespace)
+}
+
+// LeaderDistribution returns, per pool server, how many namespace
+// leaders it currently hosts.
+func (p *Pool) LeaderDistribution() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.leaderDistributionLocked()
+}
+
+func (p *Pool) leaderDistributionLocked() []int {
+	dist := make([]int, len(p.nodes))
+	for ns, g := range p.groups {
+		li := leaderReplica(g)
+		if li < 0 {
+			continue
+		}
+		place := p.placements[ns]
+		if li < len(place) {
+			dist[place[li]]++
+		}
+	}
+	return dist
+}
+
+// leaderReplica returns the index of the group's leader replica, or -1.
+func leaderReplica(g *indexnode.Group) int {
+	for i, rf := range g.Rafts() {
+		if rf.Stopped() {
+			continue
+		}
+		if role, _, _ := rf.Status(); role == raft.Leader {
+			return i
+		}
+	}
+	return -1
+}
+
+// BalanceLeaders transfers namespace leaderships away from the pool
+// servers hosting the most leaders toward their replicas on
+// lighter-loaded servers — the paper's "dynamic mechanism to rebalance
+// leader distribution". Returns the number of transfers performed.
+func (p *Pool) BalanceLeaders() int {
+	p.mu.Lock()
+	type cand struct {
+		ns    string
+		g     *indexnode.Group
+		from  int // pool node index hosting the leader
+		li    int // leader replica index
+		place []int
+	}
+	dist := p.leaderDistributionLocked()
+	var cands []cand
+	for ns, g := range p.groups {
+		li := leaderReplica(g)
+		if li < 0 || li >= len(p.placements[ns]) {
+			continue
+		}
+		cands = append(cands, cand{
+			ns: ns, g: g, from: p.placements[ns][li], li: li,
+			place: append([]int(nil), p.placements[ns]...),
+		})
+	}
+	p.mu.Unlock()
+
+	transfers := 0
+	for _, c := range cands {
+		fair := (sum(dist) + len(dist) - 1) / len(dist)
+		if dist[c.from] <= fair {
+			continue
+		}
+		// This group's voter replica on the least-leader-loaded server.
+		best := -1
+		bestLoad := dist[c.from]
+		for ri, nodeIdx := range c.place {
+			if ri == c.li || ri >= len(c.g.Rafts()) || c.g.Rafts()[ri].IsLearner() {
+				continue
+			}
+			if dist[nodeIdx] < bestLoad {
+				best, bestLoad = ri, dist[nodeIdx]
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		leaderRaft := c.g.Rafts()[c.li]
+		if err := leaderRaft.TransferLeadership(c.g.Rafts()[best].ID()); err != nil {
+			continue
+		}
+		dist[c.from]--
+		dist[c.place[best]]++
+		transfers++
+	}
+	return transfers
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

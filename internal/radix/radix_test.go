@@ -1,0 +1,205 @@
+package radix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mantle/internal/pathutil"
+)
+
+func TestInsertContainsRemove(t *testing.T) {
+	tr := New()
+	if tr.Contains("/a") {
+		t.Fatal("empty tree contains /a")
+	}
+	if !tr.Insert("/a/b/c") {
+		t.Fatal("insert failed")
+	}
+	if tr.Insert("/a/b/c") {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !tr.Contains("/a/b/c") {
+		t.Fatal("Contains false after insert")
+	}
+	// Interior nodes are not terminal.
+	if tr.Contains("/a/b") || tr.Contains("/a") {
+		t.Fatal("interior path reported as contained")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Remove("/a/b/c") {
+		t.Fatal("remove failed")
+	}
+	if tr.Remove("/a/b/c") {
+		t.Fatal("double remove succeeded")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after remove", tr.Len())
+	}
+}
+
+func TestRemoveKeepsSiblings(t *testing.T) {
+	tr := New()
+	tr.Insert("/a/b")
+	tr.Insert("/a/c")
+	tr.Remove("/a/b")
+	if !tr.Contains("/a/c") {
+		t.Fatal("sibling removed")
+	}
+}
+
+func TestRemoveKeepsAncestorTerminal(t *testing.T) {
+	tr := New()
+	tr.Insert("/a")
+	tr.Insert("/a/b")
+	tr.Remove("/a/b")
+	if !tr.Contains("/a") {
+		t.Fatal("ancestor terminal lost")
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr := New()
+	paths := []string{"/a", "/a/b", "/a/b/c", "/a/d", "/x/y", "/x"}
+	for _, p := range paths {
+		tr.Insert(p)
+	}
+	got := tr.Subtree("/a")
+	sort.Strings(got)
+	want := []string{"/a", "/a/b", "/a/b/c", "/a/d"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Subtree(/a) = %v, want %v", got, want)
+	}
+	if got := tr.Subtree("/nope"); got != nil {
+		t.Fatalf("Subtree(/nope) = %v", got)
+	}
+	all := tr.Subtree("/")
+	if len(all) != len(paths) {
+		t.Fatalf("Subtree(/) = %v", all)
+	}
+}
+
+func TestRemoveSubtree(t *testing.T) {
+	tr := New()
+	for _, p := range []string{"/a", "/a/b", "/a/b/c", "/a/d", "/x/y"} {
+		tr.Insert(p)
+	}
+	removed := tr.RemoveSubtree("/a")
+	if len(removed) != 4 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if tr.Len() != 1 || !tr.Contains("/x/y") {
+		t.Fatalf("Len=%d after RemoveSubtree", tr.Len())
+	}
+	for _, p := range removed {
+		if tr.Contains(p) {
+			t.Fatalf("%s still present", p)
+		}
+	}
+	// Removing the root clears everything.
+	tr.Insert("/q")
+	all := tr.RemoveSubtree("/")
+	if len(all) != 2 || tr.Len() != 0 {
+		t.Fatalf("RemoveSubtree(/) = %v, Len=%d", all, tr.Len())
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr := New()
+	for _, p := range []string{"/a", "/b/c", "/d"} {
+		tr.Insert(p)
+	}
+	var got []string
+	tr.Walk(func(p string) bool { got = append(got, p); return true })
+	sort.Strings(got)
+	if fmt.Sprint(got) != fmt.Sprint([]string{"/a", "/b/c", "/d"}) {
+		t.Fatalf("Walk = %v", got)
+	}
+	n := 0
+	tr.Walk(func(string) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestQuickSubtreeMatchesIsAncestor(t *testing.T) {
+	mk := func(bs []byte) string {
+		comps := make([]string, 0, 4)
+		for _, b := range bs {
+			comps = append(comps, string(rune('a'+int(b)%3)))
+			if len(comps) == 4 {
+				break
+			}
+		}
+		return pathutil.Join(comps...)
+	}
+	f := func(raw [][]byte, q []byte) bool {
+		tr := New()
+		set := map[string]bool{}
+		for _, bs := range raw {
+			p := mk(bs)
+			if p == "/" {
+				continue
+			}
+			tr.Insert(p)
+			set[p] = true
+		}
+		dir := mk(q)
+		got := tr.Subtree(dir)
+		want := 0
+		for p := range set {
+			if pathutil.IsAncestor(dir, p, true) {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for _, p := range got {
+			if !set[p] || !pathutil.IsAncestor(dir, p, true) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 3000; i++ {
+				p := fmt.Sprintf("/g%d/x%d", g, r.Intn(50))
+				switch r.Intn(4) {
+				case 0:
+					tr.Insert(p)
+				case 1:
+					tr.Remove(p)
+				case 2:
+					tr.Contains(p)
+				case 3:
+					tr.Subtree(fmt.Sprintf("/g%d", g))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Sanity: Len matches a full walk.
+	n := 0
+	tr.Walk(func(string) bool { n++; return true })
+	if n != tr.Len() {
+		t.Fatalf("walk count %d != Len %d", n, tr.Len())
+	}
+}

@@ -1,0 +1,151 @@
+package raft
+
+import (
+	"time"
+
+	"mantle/internal/types"
+)
+
+func errNotLeader() error { return types.ErrNotLeader }
+
+// Propose submits cmd to the leader's log and blocks until the entry is
+// committed and applied on this replica, returning its log index. On a
+// non-leader (or if leadership is lost mid-flight) it fails with
+// types.ErrNotLeader and the caller retries against the current leader.
+func (r *Raft) Propose(cmd []byte) (uint64, error) {
+	r.mu.Lock()
+	if r.role != Leader {
+		r.mu.Unlock()
+		return 0, types.ErrNotLeader
+	}
+	r.mu.Unlock()
+	p := &proposal{cmd: cmd, done: make(chan proposalResult, 1), enqueued: time.Now()}
+	select {
+	case r.proposeCh <- p:
+	case <-r.stopCh:
+		return 0, types.ErrStopped
+	}
+	select {
+	case res := <-p.done:
+		return res.index, res.err
+	case <-r.stopCh:
+		return 0, types.ErrStopped
+	}
+}
+
+// applier applies committed entries to the state machine in order and
+// completes pending proposals on the leader.
+func (r *Raft) applier() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-r.applyCh:
+		}
+		for {
+			r.mu.Lock()
+			if r.lastApplied >= r.commitIndex {
+				r.mu.Unlock()
+				break
+			}
+			idx := r.lastApplied + 1
+			entry := r.entryAtLocked(idx)
+			r.mu.Unlock()
+
+			// No-op entries (leader-election barriers) skip the state
+			// machine.
+			if r.cfg.SM != nil && len(entry.Cmd) > 0 {
+				r.cfg.SM.Apply(entry.Index, entry.Cmd)
+			}
+
+			r.mu.Lock()
+			r.lastApplied = idx
+			var p *proposal
+			if r.pending != nil {
+				p = r.pending[idx]
+				delete(r.pending, idx)
+			}
+			r.applyCond.Broadcast()
+			r.mu.Unlock()
+			if p != nil {
+				now := time.Now()
+				r.metrics.mu.Lock()
+				r.metrics.IngestWait += p.appended.Sub(p.enqueued)
+				r.metrics.CommitWait += now.Sub(p.appended)
+				r.metrics.mu.Unlock()
+				p.done <- proposalResult{index: idx}
+			}
+			r.maybeCompact()
+		}
+	}
+}
+
+// maybeCompact snapshots the state machine and truncates the applied log
+// prefix once it exceeds the configured threshold. Runs on the apply
+// goroutine, so Snapshot never races Apply.
+func (r *Raft) maybeCompact() {
+	if r.cfg.SnapshotThreshold <= 0 {
+		return
+	}
+	sm, ok := r.cfg.SM.(Snapshotter)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	applied := r.lastApplied
+	first := r.firstIndexLocked()
+	if applied-first < uint64(r.cfg.SnapshotThreshold) {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+
+	// Snapshot outside r.mu: state-machine reads can be slow, and only
+	// this goroutine mutates the SM.
+	data := sm.Snapshot()
+
+	r.mu.Lock()
+	// applied cannot have advanced (single apply goroutine), but a
+	// snapshot install could have; re-check.
+	if applied <= r.firstIndexLocked() {
+		r.mu.Unlock()
+		return
+	}
+	cutTerm := r.entryAtLocked(applied).Term
+	suffix := r.log[applied-r.firstIndexLocked()+1:]
+	newLog := make([]Entry, 0, len(suffix)+1)
+	newLog = append(newLog, Entry{Term: cutTerm, Index: applied})
+	newLog = append(newLog, suffix...)
+	r.log = newLog
+	r.snapData = data
+	r.mu.Unlock()
+	r.fsync() // persisting the snapshot costs a disk sync
+}
+
+// WaitApplied blocks until the replica has applied at least index, or the
+// replica stops.
+func (r *Raft) WaitApplied(index uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.lastApplied < index {
+		if r.stopped() {
+			return types.ErrStopped
+		}
+		r.applyCond.Wait()
+	}
+	return nil
+}
+
+// waitAppliedTimeout is WaitApplied with a deadline, used by follower
+// reads so a partitioned replica does not block readers forever.
+func (r *Raft) waitAppliedTimeout(index uint64, d time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- r.WaitApplied(index) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return types.ErrStopped
+	}
+}

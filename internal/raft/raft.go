@@ -1,0 +1,550 @@
+// Package raft implements the Raft consensus protocol used to replicate
+// Mantle's IndexNode (§4, §5.1.3, §5.2.3 of the paper) and LocoFS's
+// directory server. It provides:
+//
+//   - leader election with randomised timeouts and term-based safety,
+//   - log replication to voting followers and non-voting learners
+//     (read replicas, as added in §5.1.3 to scale lookups),
+//   - a state machine apply loop on every replica,
+//   - ReadIndex-based consistent reads on followers and learners: the
+//     replica queries the leader for its commitIndex (queries from
+//     concurrent readers are batched into one RPC, as the paper
+//     describes) and waits until the local applyIndex catches up,
+//   - proposal batching: the leader groups queued proposals into one log
+//     append and one fsync per batch ("+raftlogbatch" in Figure 16), and
+//   - a simulated fsync cost per log sync, serialised per node, which is
+//     the disk bottleneck that batching amortises (§5.2.3).
+//
+// Networking runs over internal/netsim: every inter-replica RPC charges
+// one fabric round trip. Replicas live in one process, so network
+// partitions are out of scope; crash-stop failures (Stop) and leader
+// changes are supported and tested.
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"mantle/internal/netsim"
+	"mantle/internal/types"
+)
+
+// Role is a replica's current role.
+type Role uint8
+
+const (
+	// Follower replicates the leader's log.
+	Follower Role = iota
+	// Candidate is running an election.
+	Candidate
+	// Leader owns the log.
+	Leader
+	// LearnerRole replicates but does not vote or campaign.
+	LearnerRole
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	case LearnerRole:
+		return "learner"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Entry is one log entry.
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Cmd   []byte
+}
+
+// StateMachine receives committed entries in log order, exactly once per
+// replica.
+type StateMachine interface {
+	Apply(index uint64, cmd []byte)
+}
+
+// Snapshotter is the optional state-machine extension enabling log
+// compaction: when the applied log exceeds Config.SnapshotThreshold, the
+// replica captures a snapshot and truncates its log prefix; followers
+// that fall behind the truncation point receive the snapshot instead of
+// the missing entries (InstallSnapshot).
+type Snapshotter interface {
+	StateMachine
+	// Snapshot serialises the full state-machine state. It is invoked
+	// from the apply goroutine, so it never races Apply.
+	Snapshot() []byte
+	// Restore replaces the state-machine state from a snapshot.
+	Restore(data []byte)
+}
+
+// Config parameterises one replica.
+type Config struct {
+	// ID is the replica's unique name within the group.
+	ID string
+	// Learner marks the replica as a non-voting read replica.
+	Learner bool
+	// Fabric provides inter-replica network latency.
+	Fabric *netsim.Fabric
+	// Node models this replica's CPU; may be nil for an uncapped node.
+	Node *netsim.Node
+	// ElectionTimeout is the base election timeout; the actual timeout
+	// is randomised in [ElectionTimeout, 2×ElectionTimeout).
+	ElectionTimeout time.Duration
+	// HeartbeatInterval is the leader's idle heartbeat period.
+	HeartbeatInterval time.Duration
+	// FsyncCost is the simulated disk-sync latency charged once per log
+	// sync. Zero disables the disk model.
+	FsyncCost time.Duration
+	// BatchEnabled turns on proposal batching. When off, the leader
+	// replicates (and fsyncs) one proposal at a time — the Mantle-base
+	// configuration of the Figure 16 ablation.
+	BatchEnabled bool
+	// MaxBatch bounds the number of proposals folded into one append.
+	MaxBatch int
+	// SnapshotThreshold triggers log compaction once this many applied
+	// entries accumulate past the previous snapshot. Zero disables
+	// compaction. Requires SM to implement Snapshotter.
+	SnapshotThreshold int
+	// SM is the replica's state machine.
+	SM StateMachine
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ElectionTimeout <= 0 {
+		out.ElectionTimeout = 150 * time.Millisecond
+	}
+	if out.HeartbeatInterval <= 0 {
+		out.HeartbeatInterval = out.ElectionTimeout / 5
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 256
+	}
+	if out.Fabric == nil {
+		out.Fabric = netsim.NewLocalFabric()
+	}
+	if out.Node == nil {
+		out.Node = netsim.NewNode(out.ID, 0)
+	}
+	if out.SnapshotThreshold > 0 {
+		if _, ok := out.SM.(Snapshotter); !ok {
+			// Without a Snapshotter the group could never install
+			// snapshots on lagging followers; compaction would strand
+			// them. Disable it.
+			out.SnapshotThreshold = 0
+		}
+	}
+	return out
+}
+
+type proposal struct {
+	cmd      []byte
+	done     chan proposalResult
+	enqueued time.Time
+	appended time.Time
+}
+
+type proposalResult struct {
+	index uint64
+	err   error
+}
+
+// Raft is one replica. Create replicas with NewGroup.
+type Raft struct {
+	cfg Config
+	id  string
+
+	mu          sync.Mutex
+	peers       map[string]*Raft // all other replicas (voters and learners)
+	voters      int              // number of voting members incl. self if voter
+	role        Role
+	term        uint64
+	votedFor    string
+	leaderID    string
+	log         []Entry // log[0] is a sentinel at index 0, term 0
+	commitIndex uint64
+	lastApplied uint64
+	// Leader volatile state.
+	nextIndex  map[string]uint64
+	matchIndex map[string]uint64
+	pending    map[uint64]*proposal // index -> waiting proposal
+
+	electionReset time.Time
+
+	applyCh   chan struct{} // kicks the applier
+	proposeCh chan *proposal
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+
+	// applyWait broadcasts when lastApplied advances (ReadIndex waits).
+	applyCond *sync.Cond
+
+	// reads batches follower-read commitIndex queries to the leader.
+	reads readState
+
+	// disk serialises simulated fsyncs.
+	disk sync.Mutex
+
+	// snapData is the latest snapshot (log prefix up to log[0].Index).
+	snapData []byte
+
+	metrics Metrics
+}
+
+// firstIndexLocked returns the index of the log's sentinel entry (the
+// snapshot boundary). Caller holds r.mu.
+func (r *Raft) firstIndexLocked() uint64 { return r.log[0].Index }
+
+// entryAtLocked returns the log entry with absolute index idx. Caller
+// holds r.mu and guarantees firstIndex <= idx <= lastIndex.
+func (r *Raft) entryAtLocked(idx uint64) Entry {
+	return r.log[idx-r.log[0].Index]
+}
+
+// SnapshotIndex returns the index covered by the latest snapshot.
+func (r *Raft) SnapshotIndex() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.firstIndexLocked()
+}
+
+// LogLen returns the number of live (non-compacted) log entries.
+func (r *Raft) LogLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.log) - 1
+}
+
+// Metrics counts internals for the ablation analysis and tests.
+type Metrics struct {
+	mu        sync.Mutex
+	Syncs     int64 // simulated fsyncs performed
+	Appends   int64 // log append batches
+	Proposals int64 // proposals accepted
+	Elections int64 // elections started
+
+	// Cumulative proposal-stage wall time (observability): queue wait
+	// until log append, and append-to-apply completion.
+	IngestWait time.Duration
+	CommitWait time.Duration
+}
+
+// StageWaits returns the mean per-proposal ingest and commit waits.
+func (m *Metrics) StageWaits() (ingest, commit time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.Proposals == 0 {
+		return 0, 0
+	}
+	return m.IngestWait / time.Duration(m.Proposals), m.CommitWait / time.Duration(m.Proposals)
+}
+
+func (m *Metrics) add(syncs, appends, proposals, elections int64) {
+	m.mu.Lock()
+	m.Syncs += syncs
+	m.Appends += appends
+	m.Proposals += proposals
+	m.Elections += elections
+	m.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters.
+func (m *Metrics) Snapshot() (syncs, appends, proposals, elections int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Syncs, m.Appends, m.Proposals, m.Elections
+}
+
+// NewGroup constructs and starts a Raft group from the given configs.
+// Exactly the non-learner members form the voting set. All replicas share
+// the configs' Fabric (the first config's fabric is used if they differ).
+func NewGroup(cfgs []Config) []*Raft {
+	replicas := make([]*Raft, len(cfgs))
+	voters := 0
+	for _, c := range cfgs {
+		if !c.Learner {
+			voters++
+		}
+	}
+	for i, c := range cfgs {
+		cc := c.withDefaults()
+		r := &Raft{
+			cfg:        cc,
+			id:         cc.ID,
+			peers:      make(map[string]*Raft),
+			voters:     voters,
+			role:       Follower,
+			log:        []Entry{{}},
+			nextIndex:  make(map[string]uint64),
+			matchIndex: make(map[string]uint64),
+			applyCh:    make(chan struct{}, 1),
+			proposeCh:  make(chan *proposal, 4096),
+			stopCh:     make(chan struct{}),
+		}
+		if cc.Learner {
+			r.role = LearnerRole
+		}
+		r.applyCond = sync.NewCond(&r.mu)
+		replicas[i] = r
+	}
+	for _, r := range replicas {
+		for _, o := range replicas {
+			if o.id != r.id {
+				r.peers[o.id] = o
+			}
+		}
+	}
+	for _, r := range replicas {
+		r.start()
+	}
+	// Bootstrap kickstart: a fresh group has no leader, so waiting out a
+	// full randomised election timeout (which deployments set generously
+	// to tolerate scheduler stalls) only delays startup. The first voter
+	// campaigns immediately; if it races another campaign, normal
+	// election safety resolves the term.
+	for _, r := range replicas {
+		if !r.cfg.Learner {
+			r.mu.Lock()
+			r.startElectionLocked()
+			r.mu.Unlock()
+			break
+		}
+	}
+	return replicas
+}
+
+func (r *Raft) start() {
+	r.mu.Lock()
+	r.electionReset = time.Now()
+	r.mu.Unlock()
+	r.wg.Add(2)
+	go r.electionLoop()
+	go r.applier()
+}
+
+// Stop shuts the replica down (crash-stop). Safe to call twice.
+func (r *Raft) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stopCh)
+		r.mu.Lock()
+		r.applyCond.Broadcast()
+		r.mu.Unlock()
+	})
+	r.wg.Wait()
+}
+
+func (r *Raft) stopped() bool {
+	select {
+	case <-r.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stopped reports whether the replica has been shut down (crash-stopped).
+func (r *Raft) Stopped() bool { return r.stopped() }
+
+// ID returns the replica's name.
+func (r *Raft) ID() string { return r.id }
+
+// IsLearner reports whether the replica is a learner.
+func (r *Raft) IsLearner() bool { return r.cfg.Learner }
+
+// Node returns the netsim node modelling this replica's CPU.
+func (r *Raft) Node() *netsim.Node { return r.cfg.Node }
+
+// MetricsRef returns the replica's metrics counters.
+func (r *Raft) MetricsRef() *Metrics { return &r.metrics }
+
+// Status returns the replica's current role, term and known leader ID.
+func (r *Raft) Status() (Role, uint64, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role, r.term, r.leaderID
+}
+
+// CommitIndex returns the replica's commit index.
+func (r *Raft) CommitIndex() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.commitIndex
+}
+
+// AppliedIndex returns the replica's apply index.
+func (r *Raft) AppliedIndex() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastApplied
+}
+
+// electionLoop ticks the randomised election timer on voters.
+func (r *Raft) electionLoop() {
+	defer r.wg.Done()
+	if r.cfg.Learner {
+		return // learners never campaign
+	}
+	for {
+		timeout := r.cfg.ElectionTimeout +
+			time.Duration(rand.Int64N(int64(r.cfg.ElectionTimeout)))
+		select {
+		case <-r.stopCh:
+			return
+		case <-time.After(timeout / 4):
+		}
+		r.mu.Lock()
+		if r.role != Leader && time.Since(r.electionReset) >= timeout {
+			r.startElectionLocked()
+		}
+		r.mu.Unlock()
+	}
+}
+
+// startElectionLocked transitions to candidate and solicits votes.
+// Caller holds r.mu.
+func (r *Raft) startElectionLocked() {
+	r.role = Candidate
+	r.term++
+	r.votedFor = r.id
+	r.leaderID = ""
+	r.electionReset = time.Now()
+	term := r.term
+	lastIdx, lastTerm := r.lastLogLocked()
+	r.metrics.add(0, 0, 0, 1)
+
+	votes := 1 // self
+	var voteMu sync.Mutex
+	for _, p := range r.peers {
+		if p.IsLearner() {
+			continue
+		}
+		go func(p *Raft) {
+			r.cfg.Fabric.RoundTrip()
+			granted, replyTerm := p.handleRequestVote(term, r.id, lastIdx, lastTerm)
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if replyTerm > r.term {
+				r.becomeFollowerLocked(replyTerm, "")
+				return
+			}
+			if r.role != Candidate || r.term != term || !granted {
+				return
+			}
+			voteMu.Lock()
+			votes++
+			won := votes > r.voters/2
+			voteMu.Unlock()
+			if won {
+				r.becomeLeaderLocked()
+			}
+		}(p)
+	}
+	// Single-voter group elects itself immediately.
+	if r.voters == 1 {
+		r.becomeLeaderLocked()
+	}
+}
+
+// becomeFollowerLocked steps down into term with the given leader.
+func (r *Raft) becomeFollowerLocked(term uint64, leader string) {
+	wasLeader := r.role == Leader
+	if r.cfg.Learner {
+		r.role = LearnerRole
+	} else {
+		r.role = Follower
+	}
+	r.term = term
+	r.votedFor = ""
+	r.leaderID = leader
+	r.electionReset = time.Now()
+	if wasLeader {
+		// Fail queued proposals; the replication loop exits on role
+		// change and drains the channel.
+		r.drainProposals()
+	}
+}
+
+func (r *Raft) drainProposals() {
+	for {
+		select {
+		case p := <-r.proposeCh:
+			p.done <- proposalResult{err: types.ErrNotLeader}
+		default:
+			return
+		}
+	}
+}
+
+// becomeLeaderLocked initialises leader state and starts the replication
+// loop. Caller holds r.mu.
+func (r *Raft) becomeLeaderLocked() {
+	if r.role == Leader {
+		return
+	}
+	r.role = Leader
+	r.leaderID = r.id
+	lastIdx, _ := r.lastLogLocked()
+	for id := range r.peers {
+		r.nextIndex[id] = lastIdx + 1
+		r.matchIndex[id] = 0
+	}
+	term := r.term
+	r.wg.Add(1)
+	go r.leaderLoop(term)
+}
+
+// handleRequestVote is the RequestVote RPC handler.
+func (r *Raft) handleRequestVote(term uint64, candidate string, lastIdx, lastTerm uint64) (granted bool, replyTerm uint64) {
+	if r.stopped() {
+		return false, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if term > r.term {
+		r.becomeFollowerLocked(term, "")
+	}
+	if term < r.term {
+		return false, r.term
+	}
+	myLastIdx, myLastTerm := r.lastLogLocked()
+	upToDate := lastTerm > myLastTerm || (lastTerm == myLastTerm && lastIdx >= myLastIdx)
+	if (r.votedFor == "" || r.votedFor == candidate) && upToDate && !r.cfg.Learner {
+		r.votedFor = candidate
+		r.electionReset = time.Now()
+		return true, r.term
+	}
+	return false, r.term
+}
+
+func (r *Raft) lastLogLocked() (index, term uint64) {
+	last := r.log[len(r.log)-1]
+	return last.Index, last.Term
+}
+
+// WaitLeader blocks until some replica in rs is leader, returning it.
+// Test and bootstrap helper.
+func WaitLeader(rs []*Raft, timeout time.Duration) (*Raft, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, r := range rs {
+			if role, _, _ := r.Status(); role == Leader {
+				return r, nil
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil, errors.New("raft: no leader elected within timeout")
+}

@@ -1,0 +1,184 @@
+package raft
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mantle/internal/types"
+)
+
+var readWaitTimeout = 5 * time.Second
+
+type readResult struct {
+	idx uint64
+	err error
+}
+
+// readState batches concurrent follower-read index queries into one
+// leader RPC per round, as §5.1.3 describes ("queries for the commitIndex
+// are batched"): readers that arrive while a query is in flight join the
+// next round rather than each issuing their own RPC.
+type readState struct {
+	mu      sync.Mutex
+	waiters []chan readResult
+	running bool
+}
+
+// ReadIndex returns an index such that any read of state applied up to it
+// is linearisable at the time of the call.
+//
+// On the leader this is the current commit index. (A production
+// implementation confirms leadership with a heartbeat round first; in
+// this single-process reproduction there are no network partitions, so a
+// deposed leader observes its own step-down before serving — the
+// simplification is documented in DESIGN.md.)
+//
+// On a follower or learner the replica queries the leader for its commit
+// index through the read batcher; the caller then waits for local apply
+// to catch up via WaitApplied.
+func (r *Raft) ReadIndex() (uint64, error) {
+	if r.stopped() {
+		return 0, types.ErrStopped
+	}
+	r.mu.Lock()
+	if r.role == Leader {
+		idx := r.commitIndex
+		r.mu.Unlock()
+		return idx, nil
+	}
+	r.mu.Unlock()
+
+	ch := make(chan readResult, 1)
+	r.reads.mu.Lock()
+	r.reads.waiters = append(r.reads.waiters, ch)
+	if !r.reads.running {
+		r.reads.running = true
+		go r.serveReadBatches()
+	}
+	r.reads.mu.Unlock()
+
+	select {
+	case res := <-ch:
+		return res.idx, res.err
+	case <-r.stopCh:
+		return 0, types.ErrStopped
+	}
+}
+
+// serveReadBatches drains waiter rounds: one leader RPC per round, shared
+// by every waiter that had arrived by the time the round started.
+func (r *Raft) serveReadBatches() {
+	for {
+		r.reads.mu.Lock()
+		waiters := r.reads.waiters
+		r.reads.waiters = nil
+		if len(waiters) == 0 {
+			r.reads.running = false
+			r.reads.mu.Unlock()
+			return
+		}
+		r.reads.mu.Unlock()
+
+		res := r.queryLeaderCommit()
+		for _, ch := range waiters {
+			ch <- res
+		}
+	}
+}
+
+// queryLeaderCommit issues one RPC to the current leader for its commit
+// index.
+func (r *Raft) queryLeaderCommit() readResult {
+	r.mu.Lock()
+	leaderID := r.leaderID
+	r.mu.Unlock()
+	if leaderID == "" {
+		return readResult{err: types.ErrNotLeader}
+	}
+	leader, ok := r.peers[leaderID]
+	if !ok {
+		return readResult{err: types.ErrNotLeader}
+	}
+	r.cfg.Fabric.RoundTrip()
+	if leader.stopped() {
+		return readResult{err: types.ErrNotLeader}
+	}
+	if role, _, _ := leader.Status(); role != Leader {
+		return readResult{err: types.ErrNotLeader}
+	}
+	return readResult{idx: leader.CommitIndex()}
+}
+
+// ConsistentRead performs fn once the replica is read-consistent: it
+// obtains a ReadIndex and waits for local apply to reach it. Works on the
+// leader, followers, and learners.
+func (r *Raft) ConsistentRead(fn func() error) error {
+	idx, err := r.ReadIndex()
+	if err != nil {
+		return err
+	}
+	if err := r.waitAppliedTimeout(idx, readWaitTimeout); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// TransferLeadership asks the current leader to hand leadership to the
+// named peer (§7.2 of the paper rebalances namespace leaders across a
+// shared server pool, which needs exactly this). The leader waits
+// briefly for the target to be fully caught up, then tells it to campaign
+// immediately (the TimeoutNow message of Raft's leadership-transfer
+// extension). Returns types.ErrNotLeader when called on a non-leader, or
+// an error if the target is unknown, a learner, or cannot catch up.
+func (r *Raft) TransferLeadership(targetID string) error {
+	r.mu.Lock()
+	if r.role != Leader {
+		r.mu.Unlock()
+		return types.ErrNotLeader
+	}
+	target, ok := r.peers[targetID]
+	if !ok || target.IsLearner() {
+		r.mu.Unlock()
+		return fmt.Errorf("raft: transfer target %q unknown or learner", targetID)
+	}
+	term := r.term
+	r.mu.Unlock()
+
+	// Wait (bounded) for the target to match our log.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r.mu.Lock()
+		last, _ := r.lastLogLocked()
+		caughtUp := r.matchIndex[targetID] >= last
+		stillLeader := r.role == Leader && r.term == term
+		r.mu.Unlock()
+		if !stillLeader {
+			return types.ErrNotLeader
+		}
+		if caughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("raft: transfer target %s cannot catch up", targetID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.cfg.Fabric.RoundTrip()
+	target.handleTimeoutNow(term)
+	return nil
+}
+
+// handleTimeoutNow makes the replica campaign immediately (leadership
+// transfer).
+func (r *Raft) handleTimeoutNow(term uint64) {
+	if r.stopped() || r.cfg.Learner {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if term < r.term {
+		return
+	}
+	r.startElectionLocked()
+}

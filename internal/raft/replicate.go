@@ -1,0 +1,390 @@
+package raft
+
+import (
+	"sort"
+	"time"
+)
+
+// fsync simulates one durable log sync: syncs on a node serialise on the
+// replica's disk and each costs FsyncCost. This is the bottleneck that
+// proposal batching amortises (§5.2.3).
+func (r *Raft) fsync() {
+	r.metrics.add(1, 0, 0, 0)
+	if r.cfg.FsyncCost <= 0 {
+		return
+	}
+	r.disk.Lock()
+	time.Sleep(r.cfg.FsyncCost)
+	r.disk.Unlock()
+}
+
+// leaderLoop ingests proposals for the given term, appends them to the
+// log (batched when enabled), and coordinates per-peer replicators. It
+// exits when leadership or the term is lost.
+func (r *Raft) leaderLoop(term uint64) {
+	defer r.wg.Done()
+
+	// Append a no-op entry for the new term immediately: a Raft leader
+	// only learns the commit status of previous terms' entries once an
+	// entry of its own term commits, and reads gate on that knowledge
+	// (ReadIndex). The no-op makes the new leader's commit index catch
+	// up with everything already committed.
+	r.mu.Lock()
+	if r.role == Leader && r.term == term {
+		idx, _ := r.lastLogLocked()
+		r.log = append(r.log, Entry{Term: term, Index: idx + 1})
+		r.metrics.add(0, 1, 0, 0)
+	}
+	r.mu.Unlock()
+	r.fsync()
+	r.maybeAdvanceCommit(term)
+
+	// Per-peer replicators.
+	type kicker chan struct{}
+	kicks := make(map[string]kicker, len(r.peers))
+	done := make(chan struct{})
+	defer close(done)
+	for id, p := range r.peers {
+		k := make(kicker, 1)
+		kicks[id] = k
+		r.wg.Add(1)
+		go r.replicateTo(term, p, k, done)
+	}
+	kickAll := func() {
+		for _, k := range kicks {
+			select {
+			case k <- struct{}{}:
+			default:
+			}
+		}
+	}
+
+	heartbeat := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer heartbeat.Stop()
+
+	for {
+		select {
+		case <-r.stopCh:
+			r.failPending()
+			return
+		case <-heartbeat.C:
+			if !r.stillLeader(term) {
+				return
+			}
+			kickAll()
+		case p := <-r.proposeCh:
+			batch := []*proposal{p}
+			if r.cfg.BatchEnabled {
+				for len(batch) < r.cfg.MaxBatch {
+					select {
+					case q := <-r.proposeCh:
+						batch = append(batch, q)
+					default:
+						goto ingest
+					}
+				}
+			}
+		ingest:
+			r.mu.Lock()
+			if r.role != Leader || r.term != term {
+				r.mu.Unlock()
+				for _, q := range batch {
+					q.done <- proposalResult{err: errNotLeader()}
+				}
+				return
+			}
+			now := time.Now()
+			for _, q := range batch {
+				idx, _ := r.lastLogLocked()
+				e := Entry{Term: term, Index: idx + 1, Cmd: q.cmd}
+				r.log = append(r.log, e)
+				q.appended = now
+				if r.pending == nil {
+					r.pending = make(map[uint64]*proposal)
+				}
+				r.pending[e.Index] = q
+			}
+			r.metrics.add(0, 1, int64(len(batch)), 0)
+			r.mu.Unlock()
+			r.fsync()
+			r.maybeAdvanceCommit(term) // single-voter groups commit locally
+			kickAll()
+		}
+	}
+}
+
+func (r *Raft) stillLeader(term uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role == Leader && r.term == term
+}
+
+// failPending rejects all uncommitted proposals (leadership lost or
+// shutdown).
+func (r *Raft) failPending() {
+	r.mu.Lock()
+	pend := r.pending
+	r.pending = nil
+	r.mu.Unlock()
+	for _, p := range pend {
+		p.done <- proposalResult{err: errNotLeader()}
+	}
+	r.drainProposals()
+}
+
+// replicateTo drives one peer: whenever kicked (new entries or
+// heartbeat), it sends AppendEntries from the peer's nextIndex and
+// processes the reply. It exits with the leader term.
+func (r *Raft) replicateTo(term uint64, peer *Raft, kick chan struct{}, done chan struct{}) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-done:
+			return
+		case <-kick:
+		}
+		for {
+			r.mu.Lock()
+			if r.role != Leader || r.term != term {
+				r.mu.Unlock()
+				return
+			}
+			next := r.nextIndex[peer.id]
+			first := r.firstIndexLocked()
+			if next <= first {
+				// The peer needs entries compacted away: install the
+				// snapshot, then resume appending after it.
+				snapIdx, snapTerm := first, r.log[0].Term
+				data := r.snapData
+				r.mu.Unlock()
+				r.cfg.Fabric.RoundTrip()
+				ok, replyTerm := peer.handleInstallSnapshot(term, r.id, snapIdx, snapTerm, data)
+				r.mu.Lock()
+				if r.role != Leader || r.term != term {
+					r.mu.Unlock()
+					return
+				}
+				if replyTerm > r.term {
+					r.becomeFollowerLocked(replyTerm, "")
+					r.mu.Unlock()
+					return
+				}
+				if ok {
+					if snapIdx > r.matchIndex[peer.id] {
+						r.matchIndex[peer.id] = snapIdx
+					}
+					r.nextIndex[peer.id] = r.matchIndex[peer.id] + 1
+				}
+				r.mu.Unlock()
+				if !ok {
+					break // peer stopped; retry on next kick
+				}
+				continue
+			}
+			if next == 0 {
+				next = 1
+			}
+			prev := r.entryAtLocked(next - 1)
+			entries := append([]Entry(nil), r.log[next-first:]...)
+			commit := r.commitIndex
+			r.mu.Unlock()
+
+			r.cfg.Fabric.RoundTrip()
+			ok, replyTerm, conflictHint := peer.handleAppendEntries(
+				term, r.id, prev.Index, prev.Term, entries, commit)
+
+			r.mu.Lock()
+			if r.role != Leader || r.term != term {
+				r.mu.Unlock()
+				return
+			}
+			if replyTerm > r.term {
+				r.becomeFollowerLocked(replyTerm, "")
+				r.mu.Unlock()
+				return
+			}
+			if replyTerm == 0 {
+				// Peer stopped; retry on the next kick.
+				r.mu.Unlock()
+				break
+			}
+			if ok {
+				if n := prev.Index + uint64(len(entries)); n > r.matchIndex[peer.id] {
+					r.matchIndex[peer.id] = n
+				}
+				r.nextIndex[peer.id] = r.matchIndex[peer.id] + 1
+				r.mu.Unlock()
+				r.maybeAdvanceCommit(term)
+				break
+			}
+			// Log inconsistency: back off nextIndex and retry (the
+			// snapshot path above handles hints below the compaction
+			// boundary).
+			if conflictHint > 0 && conflictHint < next {
+				r.nextIndex[peer.id] = conflictHint
+			} else if next > 1 {
+				r.nextIndex[peer.id] = next - 1
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// maybeAdvanceCommit recomputes the commit index from voter match
+// indices.
+func (r *Raft) maybeAdvanceCommit(term uint64) {
+	r.mu.Lock()
+	if r.role != Leader || r.term != term {
+		r.mu.Unlock()
+		return
+	}
+	matches := make([]uint64, 0, r.voters)
+	lastIdx, _ := r.lastLogLocked()
+	if !r.cfg.Learner {
+		matches = append(matches, lastIdx)
+	}
+	for id, p := range r.peers {
+		if p.IsLearner() {
+			continue
+		}
+		matches = append(matches, r.matchIndex[id])
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	// matches is descending; the quorum index is the (majority-1)th.
+	quorum := r.voters/2 + 1
+	if len(matches) < quorum {
+		r.mu.Unlock()
+		return
+	}
+	n := matches[quorum-1]
+	if n > r.commitIndex && n >= r.firstIndexLocked() && r.entryAtLocked(n).Term == term {
+		r.commitIndex = n
+		select {
+		case r.applyCh <- struct{}{}:
+		default:
+		}
+	}
+	r.mu.Unlock()
+}
+
+// handleAppendEntries is the AppendEntries RPC handler (also heartbeat).
+// replyTerm 0 signals a stopped replica.
+func (r *Raft) handleAppendEntries(term uint64, leader string, prevIdx, prevTerm uint64,
+	entries []Entry, leaderCommit uint64) (ok bool, replyTerm uint64, conflictHint uint64) {
+
+	if r.stopped() {
+		return false, 0, 0
+	}
+	r.mu.Lock()
+	if term < r.term {
+		defer r.mu.Unlock()
+		return false, r.term, 0
+	}
+	if term > r.term || r.role == Candidate || (r.role == Leader && term >= r.term) {
+		r.becomeFollowerLocked(term, leader)
+	}
+	r.leaderID = leader
+	r.electionReset = time.Now()
+
+	lastIdx, _ := r.lastLogLocked()
+	first := r.firstIndexLocked()
+	if prevIdx > lastIdx {
+		defer r.mu.Unlock()
+		return false, r.term, lastIdx + 1
+	}
+	if prevIdx < first {
+		// The prefix up to first is covered by our snapshot (committed
+		// state), so it cannot conflict: skip entries at or below it.
+		skip := first - prevIdx
+		if uint64(len(entries)) <= skip {
+			defer r.mu.Unlock()
+			return true, r.term, 0
+		}
+		entries = entries[skip:]
+		prevIdx = first
+		prevTerm = r.log[0].Term
+	}
+	if r.entryAtLocked(prevIdx).Term != prevTerm {
+		// Find the first index of the conflicting term.
+		conflictTerm := r.entryAtLocked(prevIdx).Term
+		hint := prevIdx
+		for hint > first+1 && r.entryAtLocked(hint-1).Term == conflictTerm {
+			hint--
+		}
+		defer r.mu.Unlock()
+		return false, r.term, hint
+	}
+	// Append new entries, truncating conflicts.
+	appended := false
+	for i, e := range entries {
+		at := prevIdx + 1 + uint64(i)
+		if at <= lastIdx {
+			if r.entryAtLocked(at).Term == e.Term {
+				continue
+			}
+			r.log = r.log[:at-first]
+			lastIdx = at - 1
+		}
+		r.log = append(r.log, e)
+		lastIdx = e.Index
+		appended = true
+	}
+	if leaderCommit > r.commitIndex {
+		lastIdx, _ = r.lastLogLocked()
+		r.commitIndex = min(leaderCommit, lastIdx)
+		select {
+		case r.applyCh <- struct{}{}:
+		default:
+		}
+	}
+	curTerm := r.term
+	r.mu.Unlock()
+	if appended {
+		r.fsync()
+	}
+	return true, curTerm, 0
+}
+
+// handleInstallSnapshot is the InstallSnapshot RPC handler: a follower
+// that lags behind the leader's compacted log replaces its state machine
+// with the leader's snapshot.
+func (r *Raft) handleInstallSnapshot(term uint64, leader string, snapIdx, snapTerm uint64, data []byte) (ok bool, replyTerm uint64) {
+	if r.stopped() {
+		return false, 0
+	}
+	r.mu.Lock()
+	if term < r.term {
+		defer r.mu.Unlock()
+		return false, r.term
+	}
+	if term > r.term || r.role == Candidate {
+		r.becomeFollowerLocked(term, leader)
+	}
+	r.leaderID = leader
+	r.electionReset = time.Now()
+	if snapIdx <= r.lastApplied {
+		// Already past this snapshot.
+		defer r.mu.Unlock()
+		return true, r.term
+	}
+	sm, _ := r.cfg.SM.(Snapshotter)
+	if sm == nil {
+		// Cannot restore: reject so the leader keeps its log long enough
+		// (NewGroup validation prevents this configuration).
+		defer r.mu.Unlock()
+		return false, r.term
+	}
+	r.log = []Entry{{Term: snapTerm, Index: snapIdx}}
+	r.snapData = data
+	r.commitIndex = snapIdx
+	r.lastApplied = snapIdx
+	r.mu.Unlock()
+	sm.Restore(data)
+	r.mu.Lock()
+	r.applyCond.Broadcast()
+	r.mu.Unlock()
+	r.fsync()
+	return true, r.term
+}

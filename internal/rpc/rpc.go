@@ -1,0 +1,78 @@
+// Package rpc is the thin remote-procedure-call layer the proxies use to
+// talk to metadata servers. Services are in-process Go objects; what an
+// RPC adds over a plain call is exactly what the paper's evaluation
+// measures: one network round trip on the fabric plus CPU service time on
+// the target node. A per-operation Tracker counts round trips so the
+// harness can report #RTTs per lookup (Table 1) and per op.
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mantle/internal/netsim"
+)
+
+// Caller issues RPCs over a fabric. Safe for concurrent use.
+type Caller struct {
+	fabric *netsim.Fabric
+}
+
+// NewCaller builds a caller over fabric.
+func NewCaller(fabric *netsim.Fabric) *Caller {
+	return &Caller{fabric: fabric}
+}
+
+// Fabric returns the underlying fabric.
+func (c *Caller) Fabric() *netsim.Fabric { return c.fabric }
+
+// Call performs one RPC: a network round trip, then fn on node charged
+// with cost of CPU service time. The error from fn is returned.
+func (c *Caller) Call(node *netsim.Node, cost time.Duration, fn func() error) error {
+	c.fabric.RoundTrip()
+	return node.Exec(cost, fn)
+}
+
+// Op tracks the RPCs issued on behalf of one metadata operation. It is
+// safe for concurrent use (InfiniFS's speculative resolution issues
+// parallel RPCs within a single op).
+type Op struct {
+	caller *Caller
+	rtts   atomic.Int32
+}
+
+// Begin starts tracking a new operation.
+func (c *Caller) Begin() *Op { return &Op{caller: c} }
+
+// Call performs one tracked RPC.
+func (o *Op) Call(node *netsim.Node, cost time.Duration, fn func() error) error {
+	o.rtts.Add(1)
+	return o.caller.Call(node, cost, fn)
+}
+
+// Parallel issues all calls concurrently, waits for completion, and
+// returns the first non-nil error (all calls run regardless). Each call
+// counts as one RTT, but wall time is a single round of overlapped RPCs —
+// the behaviour InfiniFS's parallel resolution depends on.
+func (o *Op) Parallel(calls []func(op *Op) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(calls))
+	for i, call := range calls {
+		wg.Add(1)
+		go func(i int, call func(*Op) error) {
+			defer wg.Done()
+			errs[i] = call(o)
+		}(i, call)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RTTs returns the number of round trips the operation has issued.
+func (o *Op) RTTs() int { return int(o.rtts.Load()) }

@@ -1,0 +1,84 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mantle/internal/netsim"
+)
+
+func TestCallCountsRoundTrips(t *testing.T) {
+	fabric := netsim.NewLocalFabric()
+	c := NewCaller(fabric)
+	node := netsim.NewNode("n", 0)
+	op := c.Begin()
+	for i := 0; i < 5; i++ {
+		if err := op.Call(node, 0, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if op.RTTs() != 5 {
+		t.Fatalf("RTTs = %d", op.RTTs())
+	}
+	if fabric.RPCs() != 5 {
+		t.Fatalf("fabric RPCs = %d", fabric.RPCs())
+	}
+	// A second op tracks independently.
+	op2 := c.Begin()
+	_ = op2.Call(node, 0, func() error { return nil })
+	if op2.RTTs() != 1 || op.RTTs() != 5 {
+		t.Fatalf("op RTTs = %d/%d", op.RTTs(), op2.RTTs())
+	}
+}
+
+func TestCallPropagatesError(t *testing.T) {
+	c := NewCaller(netsim.NewLocalFabric())
+	node := netsim.NewNode("n", 0)
+	sentinel := errors.New("boom")
+	op := c.Begin()
+	if err := op.Call(node, 0, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParallelOverlapsLatency(t *testing.T) {
+	fabric := netsim.NewFabric(netsim.Config{RTT: 20 * time.Millisecond})
+	c := NewCaller(fabric)
+	node := netsim.NewNode("n", 0)
+	op := c.Begin()
+	calls := make([]func(*Op) error, 8)
+	for i := range calls {
+		calls[i] = func(o *Op) error {
+			return o.Call(node, 0, func() error { return nil })
+		}
+	}
+	start := time.Now()
+	if err := op.Parallel(calls); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 8 sequential RPCs would cost >= 160ms; parallel should land well
+	// under half that.
+	if elapsed > 80*time.Millisecond {
+		t.Fatalf("parallel round took %v", elapsed)
+	}
+	if op.RTTs() != 8 {
+		t.Fatalf("RTTs = %d, want 8 (parallelism must not hide RPC count)", op.RTTs())
+	}
+}
+
+func TestParallelReturnsFirstError(t *testing.T) {
+	c := NewCaller(netsim.NewLocalFabric())
+	node := netsim.NewNode("n", 0)
+	sentinel := errors.New("level 3 missing")
+	op := c.Begin()
+	err := op.Parallel([]func(*Op) error{
+		func(o *Op) error { return o.Call(node, 0, func() error { return nil }) },
+		func(o *Op) error { return o.Call(node, 0, func() error { return sentinel }) },
+		func(o *Op) error { return o.Call(node, 0, func() error { return nil }) },
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}

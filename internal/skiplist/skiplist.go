@@ -1,0 +1,249 @@
+// Package skiplist implements a concurrent skiplist keyed by string. It
+// is the substrate for IndexNode's RemovalList (§5.1.2 of the paper): the
+// set of directory paths currently being modified, consulted by every
+// lookup and drained by the Invalidator's background thread.
+//
+// The implementation follows the Herlihy–Shavit lazy skiplist: searches
+// and containment checks are lock-free and wait-free on the happy path
+// (they never acquire locks and never retry), while inserts and removals
+// take fine-grained per-node locks with optimistic validation. That
+// matches the paper's requirement exactly — the hot path is the
+// lookup-side scan of an almost-always-empty list, which here costs one
+// atomic length load and, when non-empty, a lock-free traversal.
+package skiplist
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+)
+
+const maxLevel = 16
+
+type node struct {
+	key         string
+	mu          sync.Mutex
+	next        [maxLevel]atomic.Pointer[node]
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	topLevel    int // highest level this node participates in (0-based)
+}
+
+// List is a concurrent ordered set of strings. The zero value is not
+// usable; create lists with New.
+type List struct {
+	head   *node
+	tail   *node
+	length atomic.Int64
+}
+
+// New returns an empty list.
+func New() *List {
+	l := &List{
+		head: &node{topLevel: maxLevel - 1},
+		tail: &node{topLevel: maxLevel - 1},
+	}
+	// head sorts before and tail after every real key; comparisons treat
+	// them specially via pointer identity.
+	for i := 0; i < maxLevel; i++ {
+		l.head.next[i].Store(l.tail)
+	}
+	l.tail.fullyLinked.Store(true)
+	l.head.fullyLinked.Store(true)
+	return l
+}
+
+// Len returns the number of keys in the list.
+func (l *List) Len() int { return int(l.length.Load()) }
+
+// IsEmpty is a wait-free emptiness check (one atomic load), used by the
+// lookup fast path.
+func (l *List) IsEmpty() bool { return l.length.Load() == 0 }
+
+func randomLevel() int {
+	lvl := 0
+	for lvl < maxLevel-1 && rand.Uint32()&0x3 == 0 { // p = 1/4
+		lvl++
+	}
+	return lvl
+}
+
+// less orders nodes, treating head as -inf and tail as +inf.
+func (l *List) less(n *node, key string) bool {
+	if n == l.head {
+		return true
+	}
+	if n == l.tail {
+		return false
+	}
+	return n.key < key
+}
+
+// find locates key, filling preds/succs per level; returns the level at
+// which a node with the key was found, or -1.
+func (l *List) find(key string, preds, succs *[maxLevel]*node) int {
+	found := -1
+	pred := l.head
+	for level := maxLevel - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for l.less(curr, key) {
+			pred = curr
+			curr = curr.next[level].Load()
+		}
+		if found == -1 && curr != l.tail && curr.key == key {
+			found = level
+		}
+		preds[level] = pred
+		succs[level] = curr
+	}
+	return found
+}
+
+// Contains reports whether key is in the list. Lock-free.
+func (l *List) Contains(key string) bool {
+	pred := l.head
+	var curr *node
+	for level := maxLevel - 1; level >= 0; level-- {
+		curr = pred.next[level].Load()
+		for l.less(curr, key) {
+			pred = curr
+			curr = curr.next[level].Load()
+		}
+	}
+	return curr != l.tail && curr.key == key &&
+		curr.fullyLinked.Load() && !curr.marked.Load()
+}
+
+// Insert adds key, reporting whether it was newly added (false if already
+// present).
+func (l *List) Insert(key string) bool {
+	topLevel := randomLevel()
+	var preds, succs [maxLevel]*node
+	for {
+		if lFound := l.find(key, &preds, &succs); lFound != -1 {
+			f := succs[lFound]
+			if !f.marked.Load() {
+				// Wait until the concurrent inserter finishes linking.
+				for !f.fullyLinked.Load() {
+				}
+				return false
+			}
+			continue // marked for removal: retry until unlinked
+		}
+		// Lock predecessors bottom-up and validate.
+		var locked [maxLevel]*node
+		nLocked := 0
+		valid := true
+		var prevPred *node
+		for level := 0; valid && level <= topLevel; level++ {
+			pred, succ := preds[level], succs[level]
+			if pred != prevPred {
+				pred.mu.Lock()
+				locked[nLocked] = pred
+				nLocked++
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && !succ.marked.Load() &&
+				pred.next[level].Load() == succ
+		}
+		if !valid {
+			for i := 0; i < nLocked; i++ {
+				locked[i].mu.Unlock()
+			}
+			continue
+		}
+		n := &node{key: key, topLevel: topLevel}
+		for level := 0; level <= topLevel; level++ {
+			n.next[level].Store(succs[level])
+		}
+		for level := 0; level <= topLevel; level++ {
+			preds[level].next[level].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		for i := 0; i < nLocked; i++ {
+			locked[i].mu.Unlock()
+		}
+		l.length.Add(1)
+		return true
+	}
+}
+
+// Remove deletes key, reporting whether it was present.
+func (l *List) Remove(key string) bool {
+	var victim *node
+	isMarked := false
+	topLevel := -1
+	var preds, succs [maxLevel]*node
+	for {
+		lFound := l.find(key, &preds, &succs)
+		if lFound != -1 {
+			victim = succs[lFound]
+		}
+		if !isMarked {
+			if lFound == -1 || !victim.fullyLinked.Load() ||
+				victim.marked.Load() || victim.topLevel != lFound {
+				return false
+			}
+			topLevel = victim.topLevel
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false
+			}
+			victim.marked.Store(true)
+			isMarked = true
+		}
+		// Lock predecessors and validate.
+		var locked [maxLevel]*node
+		nLocked := 0
+		valid := true
+		var prevPred *node
+		for level := 0; valid && level <= topLevel; level++ {
+			pred := preds[level]
+			if pred != prevPred {
+				pred.mu.Lock()
+				locked[nLocked] = pred
+				nLocked++
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && pred.next[level].Load() == victim
+		}
+		if !valid {
+			for i := 0; i < nLocked; i++ {
+				locked[i].mu.Unlock()
+			}
+			continue
+		}
+		for level := topLevel; level >= 0; level-- {
+			preds[level].next[level].Store(victim.next[level].Load())
+		}
+		victim.mu.Unlock()
+		for i := 0; i < nLocked; i++ {
+			locked[i].mu.Unlock()
+		}
+		l.length.Add(-1)
+		return true
+	}
+}
+
+// Range calls fn on every key in ascending order until fn returns false.
+// The traversal is lock-free and sees a consistent-enough snapshot for the
+// RemovalList use case (prefix checks against in-flight modifications).
+func (l *List) Range(fn func(key string) bool) {
+	curr := l.head.next[0].Load()
+	for curr != l.tail {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			if !fn(curr.key) {
+				return
+			}
+		}
+		curr = curr.next[0].Load()
+	}
+}
+
+// Keys returns a snapshot of all keys in order.
+func (l *List) Keys() []string {
+	var out []string
+	l.Range(func(k string) bool { out = append(out, k); return true })
+	return out
+}

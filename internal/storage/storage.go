@@ -1,0 +1,451 @@
+// Package storage implements the single-shard ordered store that TafDB
+// and the baseline DBtable services are built from. A Shard is a B-tree
+// of MetaTable rows keyed (pid, name), with:
+//
+//   - versioned rows (every committed mutation bumps the row version),
+//   - a row-lock table with shared/exclusive modes and a no-wait policy:
+//     a conflicting lock request fails immediately with
+//     types.ErrConflict so the transaction layer aborts and retries —
+//     this is what produces the contention collapse of Figure 4b on
+//     in-place directory-attribute updates, and what delta records avoid,
+//   - two-phase participant hooks (Prepare/Commit/Abort) used by the
+//     distributed-transaction coordinator in internal/txn, and
+//   - ordered range scans for readdir and delta-record processing.
+//
+// A Shard performs no I/O; durability costs are modelled where they
+// matter for the paper's evaluation (the IndexNode Raft log, see
+// internal/raft).
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"mantle/internal/btree"
+	"mantle/internal/types"
+)
+
+// Row is a stored MetaTable row plus its version.
+type Row struct {
+	Entry   types.Entry
+	Version uint64
+}
+
+// GuardKind constrains a row's state at prepare time.
+type GuardKind uint8
+
+const (
+	// GuardExists requires the row to exist.
+	GuardExists GuardKind = iota
+	// GuardAbsent requires the row to be absent.
+	GuardAbsent
+	// GuardVersion requires the row's version to equal Version.
+	GuardVersion
+	// GuardRangeEmpty requires that no committed row exists with
+	// Key <= key < KeyHi. The guard locks Key (shared) as its anchor;
+	// writers that could violate the range must conflict on that anchor
+	// row (TafDB's rmdir/mkdir protocol arranges this: child-mutating
+	// transactions hold a shared lock on the parent's primary attribute
+	// row, and rmdir's delete takes it exclusively).
+	GuardRangeEmpty
+)
+
+// Guard is a read predicate acquired under a shared row lock at prepare
+// time; it stays protected until commit/abort.
+type Guard struct {
+	Key     types.Key
+	Kind    GuardKind
+	Version uint64    // for GuardVersion
+	KeyHi   types.Key // for GuardRangeEmpty: exclusive upper bound
+}
+
+// MutKind discriminates mutation types.
+type MutKind uint8
+
+const (
+	// MutPut inserts or replaces the row.
+	MutPut MutKind = iota
+	// MutDelete removes the row.
+	MutDelete
+	// MutDeltaAttr applies an in-place read-modify-write to the row's
+	// attribute metadata (link-count and size increments, mtime update).
+	// This is the contended path that Mantle's delta records replace.
+	MutDeltaAttr
+)
+
+// AttrDelta is the increment applied by MutDeltaAttr.
+type AttrDelta struct {
+	LinkCount int64
+	Size      int64
+}
+
+// Mutation is one write within a transaction.
+type Mutation struct {
+	Kind  MutKind
+	Key   types.Key
+	Entry types.Entry // for MutPut
+	Delta AttrDelta   // for MutDeltaAttr
+	// IfAbsent makes a MutPut fail with types.ErrExists when the row
+	// already exists (create/mkdir semantics).
+	IfAbsent bool
+	// MustExist makes MutDelete/MutDeltaAttr fail with types.ErrNotFound
+	// when the row is missing.
+	MustExist bool
+	// WantKind, when non-zero, requires the existing row to be of the
+	// given kind: a MutDelete of an object must not remove a directory's
+	// row (and vice versa). Violations fail with types.ErrIsDir or
+	// types.ErrNotDir.
+	WantKind types.EntryKind
+}
+
+type lockMode uint8
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+type rowLock struct {
+	mode    lockMode
+	holders map[string]int // txnID -> count
+}
+
+type txnState struct {
+	muts   []Mutation
+	locked []types.Key // keys this txn holds locks on (dedup'd)
+}
+
+// Shard is one storage shard. Safe for concurrent use.
+type Shard struct {
+	id string
+
+	mu      sync.Mutex
+	rows    *btree.Tree[types.Key, *Row]
+	locks   map[types.Key]*rowLock
+	txns    map[string]*txnState
+	wal     *WAL
+	crashed bool
+}
+
+func newRowTree() *btree.Tree[types.Key, *Row] {
+	return btree.New[types.Key, *Row](func(a, b types.Key) bool { return a.Less(b) })
+}
+
+// NewShard creates an empty shard with the given identifier.
+func NewShard(id string) *Shard {
+	return &Shard{
+		id:    id,
+		rows:  newRowTree(),
+		locks: make(map[types.Key]*rowLock),
+		txns:  make(map[string]*txnState),
+	}
+}
+
+// ID returns the shard identifier.
+func (s *Shard) ID() string { return s.id }
+
+// Len returns the number of rows.
+func (s *Shard) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows.Len()
+}
+
+// Get returns the row stored under k.
+func (s *Shard) Get(k types.Key) (Row, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rows.Get(k)
+	if !ok {
+		return Row{}, false
+	}
+	return *r, true
+}
+
+// Scan calls fn for every row with lo <= key < hi in key order until fn
+// returns false. fn receives a copy of the row.
+func (s *Shard) Scan(lo, hi types.Key, fn func(Row) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows.AscendRange(lo, hi, func(k types.Key, r *Row) bool {
+		return fn(*r)
+	})
+}
+
+// ScanChildren visits every row under parent pid in name order.
+func (s *Shard) ScanChildren(pid types.InodeID, fn func(Row) bool) {
+	s.Scan(types.Key{Pid: pid, Name: ""}, types.Key{Pid: pid + 1, Name: ""}, fn)
+}
+
+// tryLock acquires a lock on k for txnID in the given mode, no-wait.
+func (s *Shard) tryLock(txnID string, k types.Key, mode lockMode) error {
+	l, ok := s.locks[k]
+	if !ok {
+		s.locks[k] = &rowLock{mode: mode, holders: map[string]int{txnID: 1}}
+		return nil
+	}
+	if _, mine := l.holders[txnID]; mine {
+		if mode == lockExclusive && l.mode == lockShared {
+			if len(l.holders) == 1 {
+				l.mode = lockExclusive // upgrade, sole holder
+				l.holders[txnID]++
+				return nil
+			}
+			return fmt.Errorf("shard %s: upgrade on %v: %w", s.id, k, types.ErrConflict)
+		}
+		l.holders[txnID]++
+		return nil
+	}
+	if l.mode == lockShared && mode == lockShared {
+		l.holders[txnID] = 1
+		return nil
+	}
+	return fmt.Errorf("shard %s: lock on %v held: %w", s.id, k, types.ErrConflict)
+}
+
+func (s *Shard) unlockAll(txnID string, keys []types.Key) {
+	for _, k := range keys {
+		l, ok := s.locks[k]
+		if !ok {
+			continue
+		}
+		if n, mine := l.holders[txnID]; mine {
+			_ = n
+			delete(l.holders, txnID)
+			if len(l.holders) == 0 {
+				delete(s.locks, k)
+			}
+		}
+	}
+}
+
+func (s *Shard) checkGuard(g Guard) error {
+	r, ok := s.rows.Get(g.Key)
+	switch g.Kind {
+	case GuardExists:
+		if !ok {
+			return fmt.Errorf("shard %s: guard on %v: %w", s.id, g.Key, types.ErrNotFound)
+		}
+	case GuardAbsent:
+		if ok {
+			return fmt.Errorf("shard %s: guard on %v: %w", s.id, g.Key, types.ErrExists)
+		}
+	case GuardVersion:
+		if !ok || r.Version != g.Version {
+			return fmt.Errorf("shard %s: version guard on %v: %w", s.id, g.Key, types.ErrConflict)
+		}
+	case GuardRangeEmpty:
+		empty := true
+		s.rows.AscendRange(g.Key, g.KeyHi, func(types.Key, *Row) bool {
+			empty = false
+			return false
+		})
+		if !empty {
+			return fmt.Errorf("shard %s: range [%v,%v) not empty: %w", s.id, g.Key, g.KeyHi, types.ErrNotEmpty)
+		}
+	}
+	return nil
+}
+
+func (s *Shard) checkMutation(m Mutation) error {
+	row, ok := s.rows.Get(m.Key)
+	switch m.Kind {
+	case MutPut:
+		if m.IfAbsent && ok {
+			return fmt.Errorf("shard %s: put %v: %w", s.id, m.Key, types.ErrExists)
+		}
+	case MutDelete, MutDeltaAttr:
+		if m.MustExist && !ok {
+			return fmt.Errorf("shard %s: %v: %w", s.id, m.Key, types.ErrNotFound)
+		}
+	}
+	if m.WantKind != 0 && ok && row.Entry.Kind != m.WantKind {
+		if row.Entry.Kind == types.KindDir {
+			return fmt.Errorf("shard %s: %v: %w", s.id, m.Key, types.ErrIsDir)
+		}
+		return fmt.Errorf("shard %s: %v: %w", s.id, m.Key, types.ErrNotDir)
+	}
+	return nil
+}
+
+// Prepare is the 2PC prepare phase: acquire exclusive locks on every
+// mutated row and shared locks on every guard row (no-wait), then
+// validate guards and mutation preconditions. On any failure all locks
+// taken by this call are released and the error returned; the
+// transaction is then aborted by the coordinator. On success the shard
+// stages the mutations until Commit or Abort.
+func (s *Shard) Prepare(txnID string, guards []Guard, muts []Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.txns[txnID]; dup {
+		return fmt.Errorf("shard %s: txn %s already prepared", s.id, txnID)
+	}
+	st := &txnState{muts: muts}
+	fail := func(err error) error {
+		s.unlockAll(txnID, st.locked)
+		return err
+	}
+	lock := func(k types.Key, mode lockMode) error {
+		if err := s.tryLock(txnID, k, mode); err != nil {
+			return err
+		}
+		st.locked = append(st.locked, k)
+		return nil
+	}
+	for _, m := range muts {
+		if err := lock(m.Key, lockExclusive); err != nil {
+			return fail(err)
+		}
+	}
+	for _, g := range guards {
+		if err := lock(g.Key, lockShared); err != nil {
+			return fail(err)
+		}
+		if err := s.checkGuard(g); err != nil {
+			return fail(err)
+		}
+	}
+	for _, m := range muts {
+		if err := s.checkMutation(m); err != nil {
+			return fail(err)
+		}
+	}
+	s.txns[txnID] = st
+	return nil
+}
+
+// Commit applies the staged mutations of txnID and releases its locks.
+// Committing an unknown transaction is a no-op (idempotent recovery).
+// With a WAL attached, the mutations are logged and synced before they
+// become visible; the transaction's row locks stay held across the sync,
+// so conflicting transactions cannot observe or interleave with an
+// un-logged commit.
+func (s *Shard) Commit(txnID string) {
+	s.mu.Lock()
+	st, ok := s.txns[txnID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.txns, txnID) // claim the commit (idempotence under races)
+	if s.wal != nil {
+		wal := s.wal
+		s.mu.Unlock()
+		wal.Commit(st.muts)
+		s.mu.Lock()
+	}
+	for _, m := range st.muts {
+		s.applyLocked(m)
+	}
+	s.unlockAll(txnID, st.locked)
+	s.mu.Unlock()
+}
+
+// Abort releases txnID's locks without applying anything.
+func (s *Shard) Abort(txnID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.txns[txnID]
+	if !ok {
+		return
+	}
+	s.unlockAll(txnID, st.locked)
+	delete(s.txns, txnID)
+}
+
+func (s *Shard) applyLocked(m Mutation) {
+	switch m.Kind {
+	case MutPut:
+		if r, ok := s.rows.Get(m.Key); ok {
+			r.Entry = m.Entry
+			r.Version++
+		} else {
+			s.rows.Put(m.Key, &Row{Entry: m.Entry, Version: 1})
+		}
+	case MutDelete:
+		s.rows.Delete(m.Key)
+	case MutDeltaAttr:
+		if r, ok := s.rows.Get(m.Key); ok {
+			r.Entry.Attr.LinkCount += m.Delta.LinkCount
+			r.Entry.Attr.Size += m.Delta.Size
+			r.Version++
+		}
+	}
+}
+
+// Apply performs mutations directly under the shard mutex, without
+// transactional locking. This is the relaxed-consistency path used by the
+// Tectonic baseline (which the paper's authors implemented without
+// distributed transactions): mutations on the same row serialise on the
+// shard latch. Preconditions (IfAbsent/MustExist) are still checked; the
+// first violation aborts the batch and returns the error.
+func (s *Shard) Apply(muts []Mutation) error {
+	s.mu.Lock()
+	for _, m := range muts {
+		if err := s.checkMutation(m); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	for _, m := range muts {
+		s.applyLocked(m)
+	}
+	wal := s.wal
+	s.mu.Unlock()
+	if wal != nil {
+		// Relaxed applies log after the in-memory mutation; racing
+		// same-row relaxed writers may therefore reorder in the log —
+		// the weakened consistency the relaxed mode already accepts.
+		wal.Commit(muts)
+	}
+	return nil
+}
+
+// CompactRange atomically folds every committed row in [lo, hi) into the
+// primary row at anchor and deletes the folded rows. fold is called once
+// per folded row to merge it into the primary entry. The compaction is
+// skipped (returning 0) when the anchor row is missing or exclusively
+// locked by an in-flight transaction — the paper's shared-latch rule: a
+// directory cannot be deleted out from under its compaction, and
+// compaction never clobbers an in-flight delete. Shared locks (held by
+// concurrent child-creating transactions, which only assert the
+// directory's existence) do not block compaction. Rows in [lo, hi) that
+// are themselves locked by in-flight transactions are left in place.
+//
+// It returns the number of rows folded.
+func (s *Shard) CompactRange(anchor types.Key, lo, hi types.Key, fold func(primary *types.Entry, delta types.Entry)) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	primary, ok := s.rows.Get(anchor)
+	if !ok {
+		return 0
+	}
+	if l, locked := s.locks[anchor]; locked && l.mode == lockExclusive {
+		return 0
+	}
+	var victims []types.Key
+	var folded []types.Entry
+	s.rows.AscendRange(lo, hi, func(k types.Key, r *Row) bool {
+		if _, locked := s.locks[k]; locked {
+			return true
+		}
+		victims = append(victims, k)
+		folded = append(folded, r.Entry)
+		return true
+	})
+	for i, k := range victims {
+		fold(&primary.Entry, folded[i])
+		s.rows.Delete(k)
+	}
+	if len(victims) > 0 {
+		primary.Version++
+	}
+	return len(victims)
+}
+
+// LockedKeys reports how many row locks are currently held (diagnostics).
+func (s *Shard) LockedKeys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.locks)
+}

@@ -1,0 +1,379 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mantle/internal/types"
+)
+
+func key(pid uint64, name string) types.Key {
+	return types.Key{Pid: types.InodeID(pid), Name: name}
+}
+
+func putMut(pid uint64, name string, id uint64) Mutation {
+	return Mutation{
+		Kind: MutPut,
+		Key:  key(pid, name),
+		Entry: types.Entry{
+			Pid: types.InodeID(pid), Name: name,
+			ID: types.InodeID(id), Kind: types.KindObject, Perm: types.PermAll,
+		},
+	}
+}
+
+func TestPrepareCommit(t *testing.T) {
+	s := NewShard("s0")
+	if err := s.Prepare("t1", nil, []Mutation{putMut(1, "a", 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(1, "a")); ok {
+		t.Fatal("row visible before commit")
+	}
+	s.Commit("t1")
+	r, ok := s.Get(key(1, "a"))
+	if !ok || r.Entry.ID != 10 || r.Version != 1 {
+		t.Fatalf("row = %+v ok=%v", r, ok)
+	}
+	if s.LockedKeys() != 0 {
+		t.Fatalf("locks leaked: %d", s.LockedKeys())
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	s := NewShard("s0")
+	if err := s.Prepare("t1", nil, []Mutation{putMut(1, "a", 10)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort("t1")
+	if _, ok := s.Get(key(1, "a")); ok {
+		t.Fatal("aborted row visible")
+	}
+	if s.LockedKeys() != 0 {
+		t.Fatal("locks leaked after abort")
+	}
+	// Idempotent commit/abort of unknown txns.
+	s.Commit("t1")
+	s.Abort("nope")
+}
+
+func TestExclusiveConflict(t *testing.T) {
+	s := NewShard("s0")
+	if err := s.Prepare("t1", nil, []Mutation{putMut(1, "a", 10)}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Prepare("t2", nil, []Mutation{putMut(1, "a", 11)})
+	if !errors.Is(err, types.ErrConflict) {
+		t.Fatalf("want conflict, got %v", err)
+	}
+	s.Commit("t1")
+	// After release, t2 can retry.
+	if err := s.Prepare("t2", nil, []Mutation{putMut(1, "a", 11)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit("t2")
+	r, _ := s.Get(key(1, "a"))
+	if r.Entry.ID != 11 || r.Version != 2 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestSharedGuardsCoexist(t *testing.T) {
+	s := NewShard("s0")
+	_ = s.Apply([]Mutation{putMut(1, "parent", 2)})
+	g := []Guard{{Key: key(1, "parent"), Kind: GuardExists}}
+	if err := s.Prepare("t1", g, []Mutation{putMut(2, "x", 20)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prepare("t2", g, []Mutation{putMut(2, "y", 21)}); err != nil {
+		t.Fatalf("shared guards should coexist: %v", err)
+	}
+	// An exclusive lock on the guarded row conflicts.
+	err := s.Prepare("t3", nil, []Mutation{{Kind: MutDelete, Key: key(1, "parent")}})
+	if !errors.Is(err, types.ErrConflict) {
+		t.Fatalf("want conflict, got %v", err)
+	}
+	s.Commit("t1")
+	s.Commit("t2")
+}
+
+func TestGuardChecks(t *testing.T) {
+	s := NewShard("s0")
+	_ = s.Apply([]Mutation{putMut(1, "a", 10)})
+	err := s.Prepare("t1", []Guard{{Key: key(1, "missing"), Kind: GuardExists}}, nil)
+	if !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("GuardExists: %v", err)
+	}
+	err = s.Prepare("t2", []Guard{{Key: key(1, "a"), Kind: GuardAbsent}}, nil)
+	if !errors.Is(err, types.ErrExists) {
+		t.Fatalf("GuardAbsent: %v", err)
+	}
+	err = s.Prepare("t3", []Guard{{Key: key(1, "a"), Kind: GuardVersion, Version: 99}}, nil)
+	if !errors.Is(err, types.ErrConflict) {
+		t.Fatalf("GuardVersion: %v", err)
+	}
+	if err := s.Prepare("t4", []Guard{{Key: key(1, "a"), Kind: GuardVersion, Version: 1}}, nil); err != nil {
+		t.Fatalf("matching version guard: %v", err)
+	}
+	s.Commit("t4")
+	if s.LockedKeys() != 0 {
+		t.Fatal("locks leaked after failed prepares")
+	}
+}
+
+func TestMutationPreconditions(t *testing.T) {
+	s := NewShard("s0")
+	_ = s.Apply([]Mutation{putMut(1, "a", 10)})
+	m := putMut(1, "a", 11)
+	m.IfAbsent = true
+	if err := s.Prepare("t1", nil, []Mutation{m}); !errors.Is(err, types.ErrExists) {
+		t.Fatalf("IfAbsent: %v", err)
+	}
+	del := Mutation{Kind: MutDelete, Key: key(1, "zz"), MustExist: true}
+	if err := s.Prepare("t2", nil, []Mutation{del}); !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("MustExist: %v", err)
+	}
+}
+
+func TestDeltaAttr(t *testing.T) {
+	s := NewShard("s0")
+	dir := putMut(1, "d", 5)
+	dir.Entry.Kind = types.KindDir
+	_ = s.Apply([]Mutation{dir})
+	if err := s.Prepare("t1", nil, []Mutation{{
+		Kind: MutDeltaAttr, Key: key(1, "d"), Delta: AttrDelta{LinkCount: 2, Size: 100}, MustExist: true,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit("t1")
+	r, _ := s.Get(key(1, "d"))
+	if r.Entry.Attr.LinkCount != 2 || r.Entry.Attr.Size != 100 || r.Version != 2 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestScanChildren(t *testing.T) {
+	s := NewShard("s0")
+	for i := 0; i < 5; i++ {
+		_ = s.Apply([]Mutation{putMut(7, fmt.Sprintf("c%d", i), uint64(100+i))})
+	}
+	_ = s.Apply([]Mutation{putMut(8, "other", 200)})
+	var names []string
+	s.ScanChildren(7, func(r Row) bool { names = append(names, r.Entry.Name); return true })
+	if len(names) != 5 || names[0] != "c0" || names[4] != "c4" {
+		t.Fatalf("children = %v", names)
+	}
+	// Early stop.
+	n := 0
+	s.ScanChildren(7, func(Row) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestApplyRelaxed(t *testing.T) {
+	s := NewShard("s0")
+	if err := s.Apply([]Mutation{putMut(1, "a", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	m := putMut(1, "a", 2)
+	m.IfAbsent = true
+	if err := s.Apply([]Mutation{m}); !errors.Is(err, types.ErrExists) {
+		t.Fatalf("Apply precondition: %v", err)
+	}
+}
+
+func TestReentrantLocks(t *testing.T) {
+	// One txn touching the same key twice (mutation + guard) must not
+	// self-conflict.
+	s := NewShard("s0")
+	_ = s.Apply([]Mutation{putMut(1, "d", 5)})
+	err := s.Prepare("t1",
+		[]Guard{{Key: key(1, "d"), Kind: GuardExists}},
+		[]Mutation{{Kind: MutDeltaAttr, Key: key(1, "d"), Delta: AttrDelta{LinkCount: 1}}},
+	)
+	if err != nil {
+		t.Fatalf("reentrant lock: %v", err)
+	}
+	s.Commit("t1")
+}
+
+func TestConcurrentDisjointTxns(t *testing.T) {
+	s := NewShard("s0")
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				txn := fmt.Sprintf("t-%d-%d", g, i)
+				m := putMut(uint64(g+10), fmt.Sprintf("k%d", i), uint64(g*1000+i))
+				if err := s.Prepare(txn, nil, []Mutation{m}); err != nil {
+					errs <- err
+					return
+				}
+				s.Commit(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() != 8*200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestConcurrentContendedTxnsSerialize(t *testing.T) {
+	// All goroutines increment the same row via MutDeltaAttr with
+	// retry-on-conflict; the final count must equal total successes.
+	s := NewShard("s0")
+	d := putMut(1, "hot", 5)
+	d.Entry.Kind = types.KindDir
+	_ = s.Apply([]Mutation{d})
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				txn := fmt.Sprintf("t%d-%d", g, i)
+				for {
+					err := s.Prepare(txn, nil, []Mutation{{
+						Kind: MutDeltaAttr, Key: key(1, "hot"),
+						Delta: AttrDelta{LinkCount: 1}, MustExist: true,
+					}})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, types.ErrConflict) {
+						t.Error(err)
+						return
+					}
+				}
+				s.Commit(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	r, _ := s.Get(key(1, "hot"))
+	if r.Entry.Attr.LinkCount != goroutines*each {
+		t.Fatalf("LinkCount = %d, want %d", r.Entry.Attr.LinkCount, goroutines*each)
+	}
+}
+
+func TestGuardRangeEmpty(t *testing.T) {
+	s := NewShard("s0")
+	g := []Guard{{
+		Key:   key(5, "\x01"),
+		KeyHi: key(6, ""),
+		Kind:  GuardRangeEmpty,
+	}}
+	if err := s.Prepare("t1", g, nil); err != nil {
+		t.Fatalf("empty range guard: %v", err)
+	}
+	s.Commit("t1")
+	_ = s.Apply([]Mutation{putMut(5, "child", 50)})
+	err := s.Prepare("t2", g, nil)
+	if !errors.Is(err, types.ErrNotEmpty) {
+		t.Fatalf("want ErrNotEmpty, got %v", err)
+	}
+	// Rows outside the range do not trip the guard.
+	gNarrow := []Guard{{
+		Key:   key(5, "\x01"),
+		KeyHi: key(5, "child"),
+		Kind:  GuardRangeEmpty,
+	}}
+	if err := s.Prepare("t3", gNarrow, nil); err != nil {
+		t.Fatalf("narrow range: %v", err)
+	}
+	s.Commit("t3")
+}
+
+func TestCompactRange(t *testing.T) {
+	s := NewShard("s0")
+	primary := putMut(9, "\x00attr", 90)
+	primary.Entry.Kind = types.KindDir
+	_ = s.Apply([]Mutation{primary})
+	for i := 0; i < 3; i++ {
+		d := putMut(9, fmt.Sprintf("\x00attr\x00%03d", i), 0)
+		d.Entry.Attr.LinkCount = 1
+		d.Entry.Attr.Size = 10
+		_ = s.Apply([]Mutation{d})
+	}
+	n := s.CompactRange(key(9, "\x00attr"), key(9, "\x00attr\x00"), key(9, "\x01"),
+		func(p *types.Entry, d types.Entry) {
+			p.Attr.LinkCount += d.Attr.LinkCount
+			p.Attr.Size += d.Attr.Size
+		})
+	if n != 3 {
+		t.Fatalf("folded %d", n)
+	}
+	r, _ := s.Get(key(9, "\x00attr"))
+	if r.Entry.Attr.LinkCount != 3 || r.Entry.Attr.Size != 30 {
+		t.Fatalf("primary after compact: %+v", r.Entry.Attr)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, deltas not removed", s.Len())
+	}
+	// Idempotent when nothing to fold.
+	if n := s.CompactRange(key(9, "\x00attr"), key(9, "\x00attr\x00"), key(9, "\x01"), nil); n != 0 {
+		t.Fatalf("second compact folded %d", n)
+	}
+}
+
+func TestCompactSkipsExclusivelyLockedPrimary(t *testing.T) {
+	s := NewShard("s0")
+	primary := putMut(9, "\x00attr", 90)
+	_ = s.Apply([]Mutation{primary})
+	d := putMut(9, "\x00attr\x00000", 0)
+	d.Entry.Attr.LinkCount = 1
+	_ = s.Apply([]Mutation{d})
+	// rmdir-style exclusive lock on the primary.
+	if err := s.Prepare("rm", nil, []Mutation{{Kind: MutDelete, Key: key(9, "\x00attr")}}); err != nil {
+		t.Fatal(err)
+	}
+	n := s.CompactRange(key(9, "\x00attr"), key(9, "\x00attr\x00"), key(9, "\x01"),
+		func(p *types.Entry, delta types.Entry) { p.Attr.LinkCount += delta.Attr.LinkCount })
+	if n != 0 {
+		t.Fatalf("compact ran under exclusive lock, folded %d", n)
+	}
+	s.Abort("rm")
+	// Shared lock does not block.
+	if err := s.Prepare("mk", []Guard{{Key: key(9, "\x00attr"), Kind: GuardExists}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	n = s.CompactRange(key(9, "\x00attr"), key(9, "\x00attr\x00"), key(9, "\x01"),
+		func(p *types.Entry, delta types.Entry) { p.Attr.LinkCount += delta.Attr.LinkCount })
+	if n != 1 {
+		t.Fatalf("compact under shared lock folded %d", n)
+	}
+	s.Commit("mk")
+}
+
+func TestCompactSkipsLockedDeltas(t *testing.T) {
+	s := NewShard("s0")
+	_ = s.Apply([]Mutation{putMut(9, "\x00attr", 90)})
+	locked := putMut(9, "\x00attr\x00001", 0)
+	locked.Entry.Attr.LinkCount = 1
+	_ = s.Apply([]Mutation{locked})
+	free := putMut(9, "\x00attr\x00002", 0)
+	free.Entry.Attr.LinkCount = 1
+	_ = s.Apply([]Mutation{free})
+	// Lock one delta row via a prepared txn.
+	if err := s.Prepare("t", nil, []Mutation{{Kind: MutDelete, Key: key(9, "\x00attr\x00001"), MustExist: true}}); err != nil {
+		t.Fatal(err)
+	}
+	n := s.CompactRange(key(9, "\x00attr"), key(9, "\x00attr\x00"), key(9, "\x01"),
+		func(p *types.Entry, d types.Entry) { p.Attr.LinkCount += d.Attr.LinkCount })
+	if n != 1 {
+		t.Fatalf("folded %d, want 1 (locked delta skipped)", n)
+	}
+	s.Abort("t")
+}

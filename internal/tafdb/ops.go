@@ -1,0 +1,399 @@
+package tafdb
+
+import (
+	"fmt"
+	"time"
+
+	"mantle/internal/rpc"
+	"mantle/internal/storage"
+	"mantle/internal/txn"
+	"mantle/internal/types"
+)
+
+// CreateRoot initialises the primary attribute row for a namespace root
+// (or any pre-allocated directory ID) without transactions. Used during
+// bootstrap and bulk population.
+func (db *DB) CreateRoot(root types.InodeID) error {
+	p := db.shardFor(root)
+	return p.Shard.Apply([]storage.Mutation{{
+		Kind: storage.MutPut,
+		Key:  attrKey(root),
+		Entry: types.Entry{
+			Pid: root, Name: attrName, ID: root,
+			Kind: types.KindDir, Perm: types.PermAll,
+			Attr: types.Attr{MTime: time.Now()},
+		},
+	}})
+}
+
+// GetAccess reads the access row (pid, name): the id/kind/permission of
+// the named child. One RPC to the owning shard.
+func (db *DB) GetAccess(op *rpc.Op, pid types.InodeID, name string) (types.Entry, error) {
+	p := db.shardFor(pid)
+	var out types.Entry
+	err := op.Call(p.Node, db.cfg.OpCost, func() error {
+		row, ok := p.Shard.Get(types.Key{Pid: pid, Name: name})
+		if !ok {
+			return fmt.Errorf("get %d/%s: %w", pid, name, types.ErrNotFound)
+		}
+		out = row.Entry
+		return nil
+	})
+	return out, err
+}
+
+// StatObject returns the full metadata of object (pid, name).
+func (db *DB) StatObject(op *rpc.Op, pid types.InodeID, name string) (types.Entry, error) {
+	e, err := db.GetAccess(op, pid, name)
+	if err != nil {
+		return types.Entry{}, err
+	}
+	if e.IsDir() {
+		return types.Entry{}, fmt.Errorf("objstat %d/%s: %w", pid, name, types.ErrIsDir)
+	}
+	return e, nil
+}
+
+// StatDir returns directory dir's attributes, merging any live delta
+// records into the primary attribute record — the read-side cost of the
+// delta design (§5.2.1). One RPC (primary row and deltas colocate).
+func (db *DB) StatDir(op *rpc.Op, dir types.InodeID) (types.Entry, error) {
+	p := db.shardFor(dir)
+	var out types.Entry
+	err := op.Call(p.Node, db.cfg.OpCost, func() error {
+		row, ok := p.Shard.Get(attrKey(dir))
+		if !ok {
+			return fmt.Errorf("dirstat %d: %w", dir, types.ErrNotFound)
+		}
+		out = row.Entry
+		p.Shard.Scan(
+			types.Key{Pid: dir, Name: deltaPrefix},
+			types.Key{Pid: dir, Name: childrenLo},
+			func(r storage.Row) bool {
+				foldDelta(&out, r.Entry)
+				return true
+			})
+		return nil
+	})
+	return out, err
+}
+
+// ReadDir lists directory dir's children in name order. Internal
+// attribute and delta rows are excluded. One RPC.
+func (db *DB) ReadDir(op *rpc.Op, dir types.InodeID) ([]types.Entry, error) {
+	p := db.shardFor(dir)
+	var out []types.Entry
+	err := op.Call(p.Node, db.cfg.OpCost, func() error {
+		p.Shard.Scan(
+			types.Key{Pid: dir, Name: childrenLo},
+			types.Key{Pid: dir + 1, Name: ""},
+			func(r storage.Row) bool {
+				out = append(out, r.Entry)
+				return true
+			})
+		return nil
+	})
+	return out, err
+}
+
+// CreateObject inserts object name under parent, updating the parent's
+// attribute metadata. Access row and parent attributes share the
+// parent's shard, so this is a single-shard transaction; contention on
+// the parent's primary attribute row follows the configured delta mode.
+// Returns the new entry and the retry count consumed.
+func (db *DB) CreateObject(op *rpc.Op, parent types.InodeID, name string, size int64) (types.Entry, int, error) {
+	id := db.NewID()
+	entry := types.Entry{
+		Pid: parent, Name: name, ID: id, Kind: types.KindObject,
+		Perm: types.PermAll,
+		Attr: types.Attr{Size: size, MTime: time.Now()},
+	}
+	p := db.shardFor(parent)
+	retries, err := db.runTxn(op, parent, func(int) ([]txn.Piece, error) {
+		mut, guard := db.parentAttrMutation(parent, storage.AttrDelta{LinkCount: 1, Size: size}, time.Now())
+		return []txn.Piece{{
+			P:      p,
+			Guards: []storage.Guard{guard},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutPut, Key: types.Key{Pid: parent, Name: name}, Entry: entry, IfAbsent: true},
+				mut,
+			},
+		}}, nil
+	})
+	if err != nil {
+		return types.Entry{}, retries, err
+	}
+	return entry, retries, nil
+}
+
+// DeleteObject removes object name from parent.
+func (db *DB) DeleteObject(op *rpc.Op, parent types.InodeID, name string) (int, error) {
+	p := db.shardFor(parent)
+	return db.runTxn(op, parent, func(int) ([]txn.Piece, error) {
+		mut, guard := db.parentAttrMutation(parent, storage.AttrDelta{LinkCount: -1}, time.Now())
+		return []txn.Piece{{
+			P:      p,
+			Guards: []storage.Guard{guard},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutDelete, Key: types.Key{Pid: parent, Name: name},
+					MustExist: true, WantKind: types.KindObject},
+				mut,
+			},
+		}}, nil
+	})
+}
+
+// Mkdir creates directory name under parent with a pre-allocated id (the
+// caller — Mantle's proxy — allocates it so IndexNode can be updated with
+// the same id). The transaction spans the parent's shard (access row +
+// parent attribute update) and the new directory's shard (its primary
+// attribute row), mirroring Figure 2's node3/node4 example.
+func (db *DB) Mkdir(op *rpc.Op, parent types.InodeID, name string, id types.InodeID, perm types.Perm) (types.Entry, int, error) {
+	access := types.Entry{
+		Pid: parent, Name: name, ID: id, Kind: types.KindDir, Perm: perm,
+		Attr: types.Attr{MTime: time.Now()},
+	}
+	primary := types.Entry{
+		Pid: id, Name: attrName, ID: id, Kind: types.KindDir, Perm: perm,
+		Attr: types.Attr{MTime: time.Now()},
+	}
+	pParent := db.shardFor(parent)
+	pDir := db.shardFor(id)
+	retries, err := db.runTxn(op, parent, func(int) ([]txn.Piece, error) {
+		mut, guard := db.parentAttrMutation(parent, storage.AttrDelta{LinkCount: 1}, time.Now())
+		parentPiece := txn.Piece{
+			P:      pParent,
+			Guards: []storage.Guard{guard},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutPut, Key: types.Key{Pid: parent, Name: name}, Entry: access, IfAbsent: true},
+				mut,
+			},
+		}
+		dirPiece := txn.Piece{
+			P: pDir,
+			Muts: []storage.Mutation{
+				{Kind: storage.MutPut, Key: attrKey(id), Entry: primary, IfAbsent: true},
+			},
+		}
+		if pParent == pDir {
+			parentPiece.Muts = append(parentPiece.Muts, dirPiece.Muts...)
+			return []txn.Piece{parentPiece}, nil
+		}
+		return []txn.Piece{parentPiece, dirPiece}, nil
+	})
+	if err != nil {
+		return types.Entry{}, retries, err
+	}
+	return access, retries, nil
+}
+
+// Rmdir removes empty directory (parent, name, dir). The transaction
+// deletes the access row and decrements the parent's attributes on the
+// parent's shard, and deletes the primary attribute row on the
+// directory's shard under a range-emptiness guard: because every
+// child-creating transaction holds a shared lock on the directory's
+// primary attribute row, the exclusive delete serialises against them
+// and the emptiness check cannot miss an in-flight create.
+func (db *DB) Rmdir(op *rpc.Op, parent types.InodeID, name string, dir types.InodeID) (int, error) {
+	// Fold any outstanding deltas first so the primary row is current.
+	db.compactDir(dir)
+	pParent := db.shardFor(parent)
+	pDir := db.shardFor(dir)
+	return db.runTxn(op, parent, func(int) ([]txn.Piece, error) {
+		mut, guard := db.parentAttrMutation(parent, storage.AttrDelta{LinkCount: -1}, time.Now())
+		parentPiece := txn.Piece{
+			P:      pParent,
+			Guards: []storage.Guard{guard},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutDelete, Key: types.Key{Pid: parent, Name: name}, MustExist: true},
+				mut,
+			},
+		}
+		dirPiece := txn.Piece{
+			P: pDir,
+			Guards: []storage.Guard{{
+				Kind:  storage.GuardRangeEmpty,
+				Key:   types.Key{Pid: dir, Name: childrenLo},
+				KeyHi: types.Key{Pid: dir + 1, Name: ""},
+			}},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutDelete, Key: attrKey(dir), MustExist: true},
+			},
+		}
+		if pParent == pDir {
+			parentPiece.Guards = append(parentPiece.Guards, dirPiece.Guards...)
+			parentPiece.Muts = append(parentPiece.Muts, dirPiece.Muts...)
+			return []txn.Piece{parentPiece}, nil
+		}
+		return []txn.Piece{parentPiece, dirPiece}, nil
+	})
+}
+
+// RenameDir moves directory dir from (srcParent, srcName) to (dstParent,
+// dstName). The directory's own attribute row is untouched; only the two
+// parents' shards participate. Loop detection is NOT performed here —
+// Mantle offloads it to IndexNode (§5.2.2); baseline systems implement
+// their own strategies.
+func (db *DB) RenameDir(op *rpc.Op, srcParent types.InodeID, srcName string,
+	dstParent types.InodeID, dstName string, dir types.InodeID, perm types.Perm) (int, error) {
+
+	pSrc := db.shardFor(srcParent)
+	pDst := db.shardFor(dstParent)
+	access := types.Entry{
+		Pid: dstParent, Name: dstName, ID: dir, Kind: types.KindDir, Perm: perm,
+		Attr: types.Attr{MTime: time.Now()},
+	}
+	contended := srcParent
+	if dstParent != srcParent {
+		contended = dstParent // rename storms typically contend on the shared destination
+	}
+	return db.runTxn(op, contended, func(int) ([]txn.Piece, error) {
+		now := time.Now()
+		srcMut, srcGuard := db.parentAttrMutation(srcParent, storage.AttrDelta{LinkCount: -1}, now)
+		srcPiece := txn.Piece{
+			P:      pSrc,
+			Guards: []storage.Guard{srcGuard},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutDelete, Key: types.Key{Pid: srcParent, Name: srcName}, MustExist: true},
+				srcMut,
+			},
+		}
+		if srcParent == dstParent {
+			// Same-directory rename: no attribute change, one shard.
+			srcPiece.Muts = []storage.Mutation{
+				{Kind: storage.MutDelete, Key: types.Key{Pid: srcParent, Name: srcName}, MustExist: true},
+				{Kind: storage.MutPut, Key: types.Key{Pid: dstParent, Name: dstName}, Entry: access, IfAbsent: true},
+			}
+			return []txn.Piece{srcPiece}, nil
+		}
+		dstMut, dstGuard := db.parentAttrMutation(dstParent, storage.AttrDelta{LinkCount: 1}, now)
+		dstPiece := txn.Piece{
+			P:      pDst,
+			Guards: []storage.Guard{dstGuard},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutPut, Key: types.Key{Pid: dstParent, Name: dstName}, Entry: access, IfAbsent: true},
+				dstMut,
+			},
+		}
+		if pSrc == pDst {
+			srcPiece.Guards = append(srcPiece.Guards, dstPiece.Guards...)
+			srcPiece.Muts = append(srcPiece.Muts, dstPiece.Muts...)
+			return []txn.Piece{srcPiece}, nil
+		}
+		return []txn.Piece{srcPiece, dstPiece}, nil
+	})
+}
+
+// SetDirAttr replaces directory dir's attribute record in place (setattr)
+// and returns retries consumed.
+func (db *DB) SetDirAttr(op *rpc.Op, dir types.InodeID, attr types.Attr) (int, error) {
+	p := db.shardFor(dir)
+	return db.runTxn(op, dir, func(int) ([]txn.Piece, error) {
+		row, ok := p.Shard.Get(attrKey(dir))
+		if !ok {
+			return nil, fmt.Errorf("setattr %d: %w", dir, types.ErrNotFound)
+		}
+		e := row.Entry
+		e.Attr = attr
+		return []txn.Piece{{
+			P: p,
+			Guards: []storage.Guard{{
+				Key: attrKey(dir), Kind: storage.GuardVersion, Version: row.Version,
+			}},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutPut, Key: attrKey(dir), Entry: e},
+			},
+		}}, nil
+	})
+}
+
+// BulkInsert loads entries directly into the shards without transactions
+// or RPC charging — the mdtest-style population step used to build
+// billion-scale (scaled-down) namespaces before experiments.
+func (db *DB) BulkInsert(entries []types.Entry) error {
+	for _, e := range entries {
+		p := db.shardFor(e.Pid)
+		muts := []storage.Mutation{{
+			Kind: storage.MutPut, Key: types.Key{Pid: e.Pid, Name: e.Name}, Entry: e,
+		}}
+		if err := p.Shard.Apply(muts); err != nil {
+			return err
+		}
+		if e.IsDir() {
+			primary := e
+			primary.Pid = e.ID
+			primary.Name = attrName
+			pd := db.shardFor(e.ID)
+			if err := pd.Shard.Apply([]storage.Mutation{{
+				Kind: storage.MutPut, Key: attrKey(e.ID), Entry: primary,
+			}}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BumpLink adjusts a directory's link count directly (population helper).
+func (db *DB) BumpLink(dir types.InodeID, delta int64) {
+	p := db.shardFor(dir)
+	_ = p.Shard.Apply([]storage.Mutation{{
+		Kind: storage.MutDeltaAttr, Key: attrKey(dir),
+		Delta: storage.AttrDelta{LinkCount: delta},
+	}})
+}
+
+// TotalRows returns the number of MetaTable rows across shards
+// (diagnostics and scale experiments).
+func (db *DB) TotalRows() int {
+	total := 0
+	for _, p := range db.parts {
+		total += p.Shard.Len()
+	}
+	return total
+}
+
+// DeleteRowDirect removes a MetaTable row bypassing transactions —
+// corruption injection for fsck tests. Never used by the service path.
+func (db *DB) DeleteRowDirect(pid types.InodeID, name string) {
+	p := db.shardFor(pid)
+	_ = p.Shard.Apply([]storage.Mutation{{
+		Kind: storage.MutDelete, Key: types.Key{Pid: pid, Name: name},
+	}})
+}
+
+// ReadDirPage lists up to limit children of dir with names greater than
+// startAfter — the COSS ListObjects continuation pattern. It returns the
+// page and the name to pass as the next page's startAfter ("" when the
+// listing is complete). One RPC.
+func (db *DB) ReadDirPage(op *rpc.Op, dir types.InodeID, startAfter string, limit int) ([]types.Entry, string, error) {
+	if limit <= 0 {
+		limit = 1000
+	}
+	p := db.shardFor(dir)
+	var out []types.Entry
+	more := false
+	lo := childrenLo
+	if startAfter != "" {
+		lo = startAfter + "\x00" // strictly after startAfter
+	}
+	err := op.Call(p.Node, db.cfg.OpCost, func() error {
+		p.Shard.Scan(
+			types.Key{Pid: dir, Name: lo},
+			types.Key{Pid: dir + 1, Name: ""},
+			func(r storage.Row) bool {
+				if len(out) == limit {
+					more = true
+					return false
+				}
+				out = append(out, r.Entry)
+				return true
+			})
+		return nil
+	})
+	next := ""
+	if more && len(out) > 0 {
+		next = out[len(out)-1].Name
+	}
+	return out, next, err
+}

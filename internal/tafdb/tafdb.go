@@ -1,0 +1,433 @@
+// Package tafdb implements TafDB, Mantle's scalable sharded metadata
+// database (§4 of the paper). TafDB stores the complete metadata of every
+// namespace — access metadata and attribute metadata — as MetaTable rows
+// partitioned across shards by parent directory ID (pid), so that a
+// directory's children colocate on one shard. Directory mutations that
+// span shards run as distributed transactions (internal/txn); mutations
+// within one shard use the single-RPC fast path.
+//
+// Row layout. For an entry named N under parent directory P:
+//
+//	access row:   (P.ID, N)                 — id, kind, permission; for
+//	                                           objects the attributes are
+//	                                           inline (one row per object)
+//	dir attrs:    (D.ID, "\x00attr")        — a directory D's primary
+//	                                           attribute record
+//	delta record: (D.ID, "\x00attr\x00TS")  — an out-of-place attribute
+//	                                           delta with transaction
+//	                                           timestamp TS (§5.2.1)
+//
+// The "\x00" name prefix is illegal in real names, so internal rows sort
+// before all children and are trivially excluded from readdir scans.
+// Because a directory's primary attribute row and its delta records share
+// the directory's ID as pid, delta compaction is always a single-shard
+// operation.
+//
+// Contention behaviour. With delta records disabled (or not yet activated
+// for a directory), concurrent child-creating transactions collide on the
+// parent's primary attribute row (in-place MutDeltaAttr under exclusive
+// lock) and abort/retry — the Figure 4b collapse. With delta records
+// active, each transaction inserts a distinct delta row and holds only a
+// shared existence guard on the primary row, so they commit concurrently;
+// a background compactor folds deltas into the primary record, and
+// dirstat merges live deltas on read (§5.2.1).
+package tafdb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mantle/internal/netsim"
+	"mantle/internal/rpc"
+	"mantle/internal/storage"
+	"mantle/internal/txn"
+	"mantle/internal/types"
+)
+
+// attrName is the reserved name of a directory's primary attribute row.
+const attrName = "\x00attr"
+
+// deltaPrefix prefixes delta-record names; a timestamp suffix follows.
+const deltaPrefix = "\x00attr\x00"
+
+// childrenLo is the lowest possible real child name (internal rows sort
+// below it).
+const childrenLo = "\x01"
+
+// DeltaMode selects the directory-attribute update strategy.
+type DeltaMode uint8
+
+const (
+	// DeltaOff always updates attributes in place (contended).
+	DeltaOff DeltaMode = iota
+	// DeltaAuto activates delta records per directory under sustained
+	// contention, the production configuration (§5.2.1: "delta records
+	// are enabled selectively, activated only under sustained contention
+	// within a directory").
+	DeltaAuto
+	// DeltaAlways uses delta records for every directory update.
+	DeltaAlways
+)
+
+// Config parameterises a DB.
+type Config struct {
+	// Shards is the number of storage shards (the paper deploys 18 TafDB
+	// servers).
+	Shards int
+	// Workers is the CPU worker count per shard node.
+	Workers int
+	// OpCost is the CPU service time charged per shard read access.
+	OpCost time.Duration
+	// TxnCost is the CPU service time charged per transaction phase on a
+	// participant shard (prepare/commit are heavier than reads: WAL
+	// append, lock table work). Defaults to OpCost.
+	TxnCost time.Duration
+	// Fabric supplies RPC latency; required.
+	Fabric *netsim.Fabric
+	// Delta selects the attribute-update strategy.
+	Delta DeltaMode
+	// DeltaThreshold is the number of recent conflicts on a directory
+	// that activates delta mode under DeltaAuto.
+	DeltaThreshold int
+	// CompactInterval is the delta compactor's period.
+	CompactInterval time.Duration
+	// WALSyncCost, when positive, attaches a write-ahead log to every
+	// shard: committed transactions are logged (group commit) before
+	// they apply, and crashed shards recover by replay. Zero disables
+	// the WAL (the simulated-performance experiments model durability
+	// costs in the Raft layer instead).
+	WALSyncCost time.Duration
+	// MaxRetries bounds transaction retries per operation.
+	MaxRetries int
+	// RetryBase/RetryMax shape the retry backoff.
+	RetryBase, RetryMax time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
+	}
+	if c.Fabric == nil {
+		c.Fabric = netsim.NewLocalFabric()
+	}
+	if c.DeltaThreshold <= 0 {
+		c.DeltaThreshold = 3
+	}
+	if c.CompactInterval <= 0 {
+		c.CompactInterval = 10 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10000
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 20 * time.Microsecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Millisecond
+	}
+	if c.TxnCost <= 0 {
+		c.TxnCost = c.OpCost
+	}
+	return c
+}
+
+// DB is a TafDB instance: a set of shards plus the delta-record machinery.
+// One DB is shared by all namespaces (§4).
+type DB struct {
+	cfg   Config
+	parts []*txn.Participant
+
+	nextID  atomic.Uint64
+	txnSeq  atomic.Uint64
+	tsSeq   atomic.Uint64
+	retries atomic.Int64 // cumulative transaction retries (contention metric)
+
+	// deltaDirs tracks directories with delta mode active and their
+	// conflict scores (for DeltaAuto activation).
+	deltaMu   sync.Mutex
+	deltaOn   map[types.InodeID]bool
+	conflicts map[types.InodeID]int
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New creates a TafDB and starts its delta compactor.
+func New(cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	db := &DB{
+		cfg:       cfg,
+		deltaOn:   make(map[types.InodeID]bool),
+		conflicts: make(map[types.InodeID]int),
+		stopCh:    make(chan struct{}),
+	}
+	db.nextID.Store(uint64(types.RootID))
+	for i := 0; i < cfg.Shards; i++ {
+		shard := storage.NewShard(fmt.Sprintf("tafdb-%d", i))
+		if cfg.WALSyncCost > 0 {
+			shard.AttachWAL(storage.NewWAL(cfg.WALSyncCost))
+		}
+		db.parts = append(db.parts, &txn.Participant{
+			Shard: shard,
+			Node:  netsim.NewNode(fmt.Sprintf("tafdb-%d", i), cfg.Workers),
+			Cost:  cfg.TxnCost,
+		})
+	}
+	db.wg.Add(1)
+	go db.compactLoop()
+	return db
+}
+
+// Stop shuts down the compactor.
+func (db *DB) Stop() {
+	db.stopOnce.Do(func() { close(db.stopCh) })
+	db.wg.Wait()
+}
+
+// NewID allocates a fresh inode ID.
+func (db *DB) NewID() types.InodeID {
+	return types.InodeID(db.nextID.Add(1))
+}
+
+// ReserveIDs advances the allocator past max, so bulk-populated inode IDs
+// never collide with transactionally allocated ones.
+func (db *DB) ReserveIDs(max types.InodeID) {
+	for {
+		cur := db.nextID.Load()
+		if cur >= uint64(max) {
+			return
+		}
+		if db.nextID.CompareAndSwap(cur, uint64(max)) {
+			return
+		}
+	}
+}
+
+// newTxnID returns a unique transaction identifier.
+func (db *DB) newTxnID() string {
+	return fmt.Sprintf("taf-%d", db.txnSeq.Add(1))
+}
+
+// newTS returns a monotonically increasing transaction timestamp used in
+// delta-record keys.
+func (db *DB) newTS() string {
+	return fmt.Sprintf("%016x", db.tsSeq.Add(1))
+}
+
+// Retries returns the cumulative transaction retry count — the
+// contention signal the evaluation reports.
+func (db *DB) Retries() int64 { return db.retries.Load() }
+
+// Shards returns the shard count.
+func (db *DB) Shards() int { return len(db.parts) }
+
+// Nodes returns the shard nodes (for utilisation reporting).
+func (db *DB) Nodes() []*netsim.Node {
+	out := make([]*netsim.Node, len(db.parts))
+	for i, p := range db.parts {
+		out[i] = p.Node
+	}
+	return out
+}
+
+// shardFor maps a pid to its participant. Fibonacci hashing spreads
+// sequential IDs.
+func (db *DB) shardFor(pid types.InodeID) *txn.Participant {
+	h := uint64(pid) * 0x9E3779B97F4A7C15
+	return db.parts[h%uint64(len(db.parts))]
+}
+
+func attrKey(dir types.InodeID) types.Key {
+	return types.Key{Pid: dir, Name: attrName}
+}
+
+// deltaModeFor reports whether delta records are active for dir.
+func (db *DB) deltaModeFor(dir types.InodeID) bool {
+	switch db.cfg.Delta {
+	case DeltaAlways:
+		return true
+	case DeltaOff:
+		return false
+	}
+	db.deltaMu.Lock()
+	defer db.deltaMu.Unlock()
+	return db.deltaOn[dir]
+}
+
+// noteConflict records a transaction conflict on dir's attribute row and
+// activates delta mode once the threshold is reached (DeltaAuto).
+func (db *DB) noteConflict(dir types.InodeID) {
+	db.retries.Add(1)
+	if db.cfg.Delta != DeltaAuto {
+		return
+	}
+	db.deltaMu.Lock()
+	defer db.deltaMu.Unlock()
+	if db.deltaOn[dir] {
+		return
+	}
+	db.conflicts[dir]++
+	if db.conflicts[dir] >= db.cfg.DeltaThreshold {
+		db.deltaOn[dir] = true
+		delete(db.conflicts, dir)
+	}
+}
+
+// DeltaActive reports whether delta mode is currently active for dir.
+func (db *DB) DeltaActive(dir types.InodeID) bool { return db.deltaModeFor(dir) }
+
+// parentAttrMutation builds the mutation applying an attribute delta to
+// dir: an in-place read-modify-write when delta mode is off, or an
+// out-of-place delta-record insert when on. Both are accompanied by a
+// shared existence guard on the primary attribute row (returned
+// separately) — the latch that serialises against rmdir.
+func (db *DB) parentAttrMutation(dir types.InodeID, delta storage.AttrDelta, now time.Time) (storage.Mutation, storage.Guard) {
+	guard := storage.Guard{Key: attrKey(dir), Kind: storage.GuardExists}
+	if db.deltaModeFor(dir) {
+		name := deltaPrefix + db.newTS()
+		return storage.Mutation{
+			Kind: storage.MutPut,
+			Key:  types.Key{Pid: dir, Name: name},
+			Entry: types.Entry{
+				Pid:  dir,
+				Name: name, // entries mirror their row key
+				Kind: types.KindDir,
+				Attr: types.Attr{
+					LinkCount: delta.LinkCount,
+					Size:      delta.Size,
+					MTime:     now,
+				},
+			},
+		}, guard
+	}
+	return storage.Mutation{
+		Kind:      storage.MutDeltaAttr,
+		Key:       attrKey(dir),
+		Delta:     delta,
+		MustExist: true,
+	}, guard
+}
+
+// compactLoop periodically folds delta records into primary attribute
+// rows for every directory with delta mode active.
+func (db *DB) compactLoop() {
+	defer db.wg.Done()
+	ticker := time.NewTicker(db.cfg.CompactInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.stopCh:
+			return
+		case <-ticker.C:
+		}
+		db.CompactAll()
+	}
+}
+
+// CompactAll folds outstanding delta records for every delta-active
+// directory, returning the number of deltas folded. Also invoked
+// synchronously by tests and by rmdir preflight.
+func (db *DB) CompactAll() int {
+	var dirs []types.InodeID
+	db.deltaMu.Lock()
+	for d := range db.deltaOn {
+		dirs = append(dirs, d)
+	}
+	db.deltaMu.Unlock()
+	total := 0
+	if db.cfg.Delta == DeltaAlways {
+		// No registry: compact by scanning every shard for delta rows.
+		for _, p := range db.parts {
+			total += compactShardDeltas(p.Shard)
+		}
+		return total
+	}
+	for _, d := range dirs {
+		total += db.compactDir(d)
+	}
+	return total
+}
+
+// compactDir folds dir's delta records into its primary attribute row.
+func (db *DB) compactDir(dir types.InodeID) int {
+	p := db.shardFor(dir)
+	return p.Shard.CompactRange(
+		attrKey(dir),
+		types.Key{Pid: dir, Name: deltaPrefix},
+		types.Key{Pid: dir, Name: childrenLo},
+		foldDelta,
+	)
+}
+
+func foldDelta(primary *types.Entry, delta types.Entry) {
+	primary.Attr.LinkCount += delta.Attr.LinkCount
+	primary.Attr.Size += delta.Attr.Size
+	if delta.Attr.MTime.After(primary.Attr.MTime) {
+		primary.Attr.MTime = delta.Attr.MTime
+	}
+}
+
+// compactShardDeltas compacts every delta row found on a shard (used in
+// DeltaAlways mode, which keeps no per-directory registry).
+func compactShardDeltas(s *storage.Shard) int {
+	// Collect the pids that have delta rows, then compact each.
+	seen := map[types.InodeID]bool{}
+	s.Scan(types.Key{}, types.Key{Pid: ^types.InodeID(0), Name: "\xff"}, func(r storage.Row) bool {
+		if len(r.Entry.Name) > len(deltaPrefix) && r.Entry.Name[:len(deltaPrefix)] == deltaPrefix {
+			seen[r.Entry.Pid] = true
+		}
+		return true
+	})
+	total := 0
+	for pid := range seen {
+		total += s.CompactRange(
+			attrKey(pid),
+			types.Key{Pid: pid, Name: deltaPrefix},
+			types.Key{Pid: pid, Name: childrenLo},
+			foldDelta,
+		)
+	}
+	return total
+}
+
+// runTxn executes build as a retried transaction, recording contention
+// against contendedDir on each retry.
+func (db *DB) runTxn(op *rpc.Op, contendedDir types.InodeID, build func(attempt int) ([]txn.Piece, error)) (int, error) {
+	wrapped := func(attempt int) ([]txn.Piece, error) {
+		if attempt > 0 {
+			db.noteConflict(contendedDir)
+		}
+		return build(attempt)
+	}
+	return txn.RunWithRetry(op, db.newTxnID(), db.cfg.MaxRetries,
+		db.cfg.RetryBase, db.cfg.RetryMax, wrapped)
+}
+
+// CrashShard crash-stops shard i (failure injection): its in-memory
+// state is discarded; only WAL-logged commits survive.
+func (db *DB) CrashShard(i int) {
+	db.parts[i%len(db.parts)].Shard.Crash()
+}
+
+// RecoverShard replays shard i's WAL, returning mutations replayed.
+func (db *DB) RecoverShard(i int) int {
+	return db.parts[i%len(db.parts)].Shard.Recover()
+}
+
+// ForEachRow visits every MetaTable row on every shard (diagnostics,
+// fsck). Rows are visited per shard in key order.
+func (db *DB) ForEachRow(fn func(row storage.Row)) {
+	for _, p := range db.parts {
+		p.Shard.Scan(types.Key{}, types.Key{Pid: ^types.InodeID(0), Name: "\xff"},
+			func(r storage.Row) bool {
+				fn(r)
+				return true
+			})
+	}
+}

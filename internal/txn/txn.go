@@ -1,0 +1,173 @@
+// Package txn implements distributed metadata transactions over storage
+// shards — the mechanism the DBtable-based services (and TafDB) use for
+// directory mutations that span shards (§2.3 of the paper).
+//
+// The coordinator is proxy-side: it prepares all participants in
+// parallel (one RPC round trip per shard), then commits in parallel
+// (another round trip). A prepare failure aborts every prepared
+// participant. Under the storage layer's no-wait row locking a
+// transaction that touches a contended row fails with types.ErrConflict
+// and is retried by the caller with backoff — the abort/retry storm of
+// Figure 4b.
+//
+// Transactions touching a single shard use a one-round-trip fast path
+// (prepare+commit in one RPC), which is also the "single-shard
+// transaction" primitive of the CFS strategy used by the InfiniFS
+// baseline.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"mantle/internal/netsim"
+	"mantle/internal/rpc"
+	"mantle/internal/storage"
+	"mantle/internal/types"
+)
+
+// Participant is one shard and the node that hosts it.
+type Participant struct {
+	Shard *storage.Shard
+	Node  *netsim.Node
+	// Cost is the CPU service time charged on Node per transaction
+	// phase executed there.
+	Cost time.Duration
+}
+
+// Piece is the slice of a transaction that lands on one participant.
+type Piece struct {
+	P      *Participant
+	Guards []storage.Guard
+	Muts   []storage.Mutation
+}
+
+// Run executes the distributed transaction txnID consisting of pieces,
+// issuing RPCs through op. With one piece it uses the single-RPC fast
+// path; with several it runs two-phase commit. On failure every prepared
+// participant is aborted and the error returned (types.ErrConflict means
+// the caller may retry).
+func Run(op *rpc.Op, txnID string, pieces []Piece) error {
+	switch len(pieces) {
+	case 0:
+		return nil
+	case 1:
+		p := pieces[0]
+		return op.Call(p.P.Node, p.P.Cost, func() error {
+			if err := p.P.Shard.Prepare(txnID, p.Guards, p.Muts); err != nil {
+				return err
+			}
+			p.P.Shard.Commit(txnID)
+			return nil
+		})
+	}
+
+	// Prepare phase: all participants in parallel.
+	var wg sync.WaitGroup
+	errs := make([]error, len(pieces))
+	for i, p := range pieces {
+		wg.Add(1)
+		go func(i int, p Piece) {
+			defer wg.Done()
+			errs[i] = op.Call(p.P.Node, p.P.Cost, func() error {
+				return p.P.Shard.Prepare(txnID, p.Guards, p.Muts)
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	var failure error
+	for _, err := range errs {
+		if err != nil {
+			failure = err
+			break
+		}
+	}
+	if failure != nil {
+		// Abort everything that prepared successfully (and the failed
+		// ones too — Abort of an unknown txn is a no-op). One round
+		// trip per participant, in parallel.
+		for i, p := range pieces {
+			wg.Add(1)
+			go func(i int, p Piece) {
+				defer wg.Done()
+				_ = op.Call(p.P.Node, p.P.Cost, func() error {
+					p.P.Shard.Abort(txnID)
+					return nil
+				})
+			}(i, p)
+		}
+		wg.Wait()
+		return failure
+	}
+
+	// Commit phase.
+	for i, p := range pieces {
+		wg.Add(1)
+		go func(i int, p Piece) {
+			defer wg.Done()
+			errs[i] = op.Call(p.P.Node, p.P.Cost, func() error {
+				p.P.Shard.Commit(txnID)
+				return nil
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("txn %s commit: %w", txnID, err)
+		}
+	}
+	return nil
+}
+
+// Backoff sleeps an exponential, jittered backoff for the given retry
+// attempt (0-based), bounded by max. It is the retry policy the metadata
+// services use after types.ErrConflict / types.ErrLocked.
+func Backoff(attempt int, base, max time.Duration) {
+	if base <= 0 {
+		return
+	}
+	d := base << uint(min(attempt, 10))
+	if d > max {
+		d = max
+	}
+	// Full jitter.
+	d = time.Duration(rand.Int64N(int64(d) + 1))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// RunWithRetry runs build() as a transaction, retrying on ErrConflict or
+// ErrLocked up to maxRetries times with jittered backoff. build is
+// re-invoked on every attempt so it can re-read state; it returns the
+// transaction pieces or an error that aborts the whole operation. The
+// retry count consumed is returned.
+func RunWithRetry(op *rpc.Op, txnID string, maxRetries int, base, maxBackoff time.Duration,
+	build func(attempt int) ([]Piece, error)) (int, error) {
+
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		pieces, err := build(attempt)
+		if err != nil {
+			return attempt, err
+		}
+		err = Run(op, fmt.Sprintf("%s#%d", txnID, attempt), pieces)
+		if err == nil {
+			return attempt, nil
+		}
+		if !retryable(err) {
+			return attempt, err
+		}
+		lastErr = err
+		Backoff(attempt, base, maxBackoff)
+	}
+	return maxRetries, fmt.Errorf("%w: %v", types.ErrRetryExhausted, lastErr)
+}
+
+func retryable(err error) bool {
+	return err != nil && (errors.Is(err, types.ErrConflict) || errors.Is(err, types.ErrLocked))
+}

@@ -1,0 +1,209 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mantle/internal/netsim"
+	"mantle/internal/rpc"
+	"mantle/internal/storage"
+	"mantle/internal/types"
+)
+
+func testRig(nShards int) (*rpc.Caller, []*Participant) {
+	fabric := netsim.NewLocalFabric()
+	parts := make([]*Participant, nShards)
+	for i := range parts {
+		parts[i] = &Participant{
+			Shard: storage.NewShard(fmt.Sprintf("s%d", i)),
+			Node:  netsim.NewNode(fmt.Sprintf("n%d", i), 0),
+		}
+	}
+	return rpc.NewCaller(fabric), parts
+}
+
+func put(pid uint64, name string, id uint64) storage.Mutation {
+	return storage.Mutation{
+		Kind: storage.MutPut,
+		Key:  types.Key{Pid: types.InodeID(pid), Name: name},
+		Entry: types.Entry{
+			Pid: types.InodeID(pid), Name: name, ID: types.InodeID(id),
+			Kind: types.KindObject, Perm: types.PermAll,
+		},
+	}
+}
+
+func TestSingleShardFastPath(t *testing.T) {
+	caller, parts := testRig(1)
+	op := caller.Begin()
+	err := Run(op, "t1", []Piece{{P: parts[0], Muts: []storage.Mutation{put(1, "a", 10)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.RTTs() != 1 {
+		t.Fatalf("fast path RTTs = %d, want 1", op.RTTs())
+	}
+	if _, ok := parts[0].Shard.Get(types.Key{Pid: 1, Name: "a"}); !ok {
+		t.Fatal("row missing")
+	}
+}
+
+func TestTwoPhaseCommitTwoShards(t *testing.T) {
+	caller, parts := testRig(2)
+	op := caller.Begin()
+	err := Run(op, "t1", []Piece{
+		{P: parts[0], Muts: []storage.Mutation{put(1, "a", 10)}},
+		{P: parts[1], Muts: []storage.Mutation{put(2, "b", 20)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 prepares + 2 commits, but prepare/commit rounds overlap: 4 RTTs.
+	if op.RTTs() != 4 {
+		t.Fatalf("2PC RTTs = %d, want 4", op.RTTs())
+	}
+	if _, ok := parts[0].Shard.Get(types.Key{Pid: 1, Name: "a"}); !ok {
+		t.Fatal("shard0 row missing")
+	}
+	if _, ok := parts[1].Shard.Get(types.Key{Pid: 2, Name: "b"}); !ok {
+		t.Fatal("shard1 row missing")
+	}
+}
+
+func TestPrepareFailureAbortsAll(t *testing.T) {
+	caller, parts := testRig(2)
+	// Pre-insert a row so an IfAbsent put on shard1 fails.
+	_ = parts[1].Shard.Apply([]storage.Mutation{put(2, "b", 99)})
+	conflicting := put(2, "b", 20)
+	conflicting.IfAbsent = true
+	op := caller.Begin()
+	err := Run(op, "t1", []Piece{
+		{P: parts[0], Muts: []storage.Mutation{put(1, "a", 10)}},
+		{P: parts[1], Muts: []storage.Mutation{conflicting}},
+	})
+	if !errors.Is(err, types.ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+	// Nothing applied on shard0; no locks leaked anywhere.
+	if _, ok := parts[0].Shard.Get(types.Key{Pid: 1, Name: "a"}); ok {
+		t.Fatal("partial commit on shard0")
+	}
+	if parts[0].Shard.LockedKeys() != 0 || parts[1].Shard.LockedKeys() != 0 {
+		t.Fatal("locks leaked after abort")
+	}
+}
+
+func TestConflictIsRetryable(t *testing.T) {
+	caller, parts := testRig(1)
+	// Hold a lock via an uncommitted prepare.
+	if err := parts[0].Shard.Prepare("holder", nil, []storage.Mutation{put(1, "hot", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	op := caller.Begin()
+	attempts := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := RunWithRetry(op, "t2", 50, time.Microsecond, time.Millisecond,
+			func(attempt int) ([]Piece, error) {
+				attempts++
+				return []Piece{{P: parts[0], Muts: []storage.Mutation{put(1, "hot", 2)}}}, nil
+			})
+		if err != nil {
+			t.Errorf("RunWithRetry: %v", err)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	parts[0].Shard.Commit("holder")
+	<-done
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2", attempts)
+	}
+	r, _ := parts[0].Shard.Get(types.Key{Pid: 1, Name: "hot"})
+	if r.Entry.ID != 2 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	caller, parts := testRig(1)
+	if err := parts[0].Shard.Prepare("holder", nil, []storage.Mutation{put(1, "hot", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	defer parts[0].Shard.Abort("holder")
+	op := caller.Begin()
+	retries, err := RunWithRetry(op, "t2", 3, 0, 0, func(int) ([]Piece, error) {
+		return []Piece{{P: parts[0], Muts: []storage.Mutation{put(1, "hot", 2)}}}, nil
+	})
+	if !errors.Is(err, types.ErrRetryExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if retries != 3 {
+		t.Fatalf("retries = %d", retries)
+	}
+}
+
+func TestBuildErrorAborts(t *testing.T) {
+	caller, _ := testRig(1)
+	op := caller.Begin()
+	sentinel := errors.New("boom")
+	_, err := RunWithRetry(op, "t", 5, 0, 0, func(int) ([]Piece, error) {
+		return nil, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentContendedCounter(t *testing.T) {
+	// Many goroutines increment one row's link count through full
+	// transactions with retry; result must be exact.
+	caller, parts := testRig(2)
+	dir := put(1, "d", 5)
+	dir.Entry.Kind = types.KindDir
+	_ = parts[0].Shard.Apply([]storage.Mutation{dir})
+
+	const goroutines, each = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				op := caller.Begin()
+				_, err := RunWithRetry(op, fmt.Sprintf("c%d-%d", g, i), 10000,
+					time.Microsecond, 100*time.Microsecond,
+					func(int) ([]Piece, error) {
+						return []Piece{
+							{P: parts[0], Muts: []storage.Mutation{{
+								Kind: storage.MutDeltaAttr,
+								Key:  types.Key{Pid: 1, Name: "d"},
+								Delta: storage.AttrDelta{
+									LinkCount: 1,
+								},
+								MustExist: true,
+							}}},
+							{P: parts[1], Muts: []storage.Mutation{
+								put(100, fmt.Sprintf("o-%d-%d", g, i), uint64(g*1000+i)),
+							}},
+						}, nil
+					})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	r, _ := parts[0].Shard.Get(types.Key{Pid: 1, Name: "d"})
+	if r.Entry.Attr.LinkCount != goroutines*each {
+		t.Fatalf("LinkCount = %d, want %d", r.Entry.Attr.LinkCount, goroutines*each)
+	}
+	if parts[0].Shard.LockedKeys() != 0 || parts[1].Shard.LockedKeys() != 0 {
+		t.Fatal("locks leaked")
+	}
+}

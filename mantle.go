@@ -1,0 +1,289 @@
+// Package mantle is the public API of this reproduction of "Mantle:
+// Efficient Hierarchical Metadata Management for Cloud Object Storage
+// Services" (SOSP 2025). It assembles a complete Mantle deployment — a
+// per-namespace IndexNode Raft group over a sharded TafDB on a simulated
+// cluster fabric — and exposes the COSS-style metadata operations through
+// stateless Client handles, the way applications drive the proxy layer
+// in the paper.
+//
+// Quick start:
+//
+//	cl, err := mantle.New(mantle.Config{})
+//	if err != nil { ... }
+//	defer cl.Stop()
+//	c := cl.Client()
+//	_ = c.MkdirAll("/data/train")
+//	_, _ = c.Create("/data/train/sample-0", 4096)
+//	info, _ := c.Stat("/data/train/sample-0")
+//
+// The internal packages implement every subsystem from scratch (Raft,
+// the sharded transactional store, delta records, TopDirPathCache, the
+// Invalidator) plus the three baseline systems the paper compares
+// against; see DESIGN.md.
+package mantle
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mantle/internal/core"
+	"mantle/internal/indexnode"
+	"mantle/internal/netsim"
+	"mantle/internal/pathutil"
+	"mantle/internal/tafdb"
+	"mantle/internal/types"
+)
+
+// Config selects the deployment shape. The zero value is a sensible
+// single-process development deployment (zero network latency, 4 TafDB
+// shards, 1 IndexNode replica).
+type Config struct {
+	// Shards is the TafDB shard count.
+	Shards int
+	// Replicas is the IndexNode Raft group's voter count.
+	Replicas int
+	// Learners adds read replicas to the IndexNode group.
+	Learners int
+	// K is the TopDirPathCache truncation distance (default 3, the
+	// production value).
+	K int
+	// DisableCache turns TopDirPathCache off.
+	DisableCache bool
+	// FollowerRead serves lookups from followers and learners.
+	FollowerRead bool
+	// RTT injects a per-RPC network round-trip latency (0 = in-process
+	// speed; benchmarks use 200µs to model the paper's testbed).
+	RTT time.Duration
+	// DeltaRecords selects the directory-attribute update strategy:
+	// "auto" (default; activate under contention), "always", or "off".
+	DeltaRecords string
+	// ProxyCache adds a proxy-side metadata cache on top of
+	// TopDirPathCache (the paper's Figure 20 configuration; off by
+	// default, as in the paper's design).
+	ProxyCache bool
+}
+
+// Cluster is a running Mantle deployment for one namespace.
+type Cluster struct {
+	m *core.Mantle
+}
+
+// New starts a deployment.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	var delta tafdb.DeltaMode
+	switch cfg.DeltaRecords {
+	case "", "auto":
+		delta = tafdb.DeltaAuto
+	case "always":
+		delta = tafdb.DeltaAlways
+	case "off":
+		delta = tafdb.DeltaOff
+	default:
+		return nil, fmt.Errorf("mantle: unknown DeltaRecords mode %q", cfg.DeltaRecords)
+	}
+	m, err := core.New(core.Config{
+		Fabric:     netsim.NewFabric(netsim.Config{RTT: cfg.RTT}),
+		ProxyCache: cfg.ProxyCache,
+		TafDB: tafdb.Config{
+			Shards: cfg.Shards,
+			Delta:  delta,
+		},
+		Index: indexnode.Config{
+			Voters:       cfg.Replicas,
+			Learners:     cfg.Learners,
+			K:            cfg.K,
+			CacheEnabled: !cfg.DisableCache,
+			FollowerRead: cfg.FollowerRead,
+			BatchEnabled: true,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{m: m}, nil
+}
+
+// Stop shuts the deployment down.
+func (c *Cluster) Stop() { c.m.Stop() }
+
+// Client returns a stateless client handle (the proxy-layer view).
+// Clients are cheap; any number may be used concurrently.
+func (c *Cluster) Client() *Client { return &Client{m: c.m} }
+
+// Info describes an entry.
+type Info struct {
+	Path    string
+	IsDir   bool
+	Size    int64
+	Entries int64 // child count for directories
+	ModTime time.Time
+}
+
+// OpStats reports the cost of the last call on a Client obtained from
+// Client.Stats: RPC round trips and retries (useful in examples to show
+// the single-RPC lookup property).
+type OpStats struct {
+	RTTs    int
+	Retries int
+	Lookup  time.Duration
+	Execute time.Duration
+}
+
+// Client issues metadata operations. Safe for concurrent use; per-call
+// stats are returned by the *WithStats variants.
+type Client struct {
+	m *core.Mantle
+}
+
+// Sentinel errors surfaced by the client.
+var (
+	ErrNotFound   = types.ErrNotFound
+	ErrExists     = types.ErrExists
+	ErrNotEmpty   = types.ErrNotEmpty
+	ErrLoop       = types.ErrLoop
+	ErrPermission = types.ErrPermission
+)
+
+func info(path string, e types.Entry) Info {
+	out := Info{Path: pathutil.Clean(path), IsDir: e.Kind == types.KindDir, ModTime: e.Attr.MTime}
+	if out.IsDir {
+		out.Entries = e.Attr.LinkCount
+	} else {
+		out.Size = e.Attr.Size
+	}
+	return out
+}
+
+func stats(r types.Result) OpStats {
+	return OpStats{
+		RTTs:    r.RTTs,
+		Retries: r.Retries,
+		Lookup:  r.Phases[types.PhaseLookup] + r.Phases[types.PhaseLoopDetect],
+		Execute: r.Phases[types.PhaseExecute],
+	}
+}
+
+// Create inserts an object of the given size.
+func (c *Client) Create(path string, size int64) (Info, error) {
+	r, err := c.m.Create(c.m.Caller().Begin(), path, size)
+	return info(path, r.Entry), err
+}
+
+// CreateWithStats is Create returning per-op cost.
+func (c *Client) CreateWithStats(path string, size int64) (Info, OpStats, error) {
+	r, err := c.m.Create(c.m.Caller().Begin(), path, size)
+	return info(path, r.Entry), stats(r), err
+}
+
+// Delete removes an object.
+func (c *Client) Delete(path string) error {
+	_, err := c.m.Delete(c.m.Caller().Begin(), path)
+	return err
+}
+
+// Stat returns an object's metadata.
+func (c *Client) Stat(path string) (Info, error) {
+	r, err := c.m.ObjStat(c.m.Caller().Begin(), path)
+	return info(path, r.Entry), err
+}
+
+// StatWithStats is Stat returning per-op cost.
+func (c *Client) StatWithStats(path string) (Info, OpStats, error) {
+	r, err := c.m.ObjStat(c.m.Caller().Begin(), path)
+	return info(path, r.Entry), stats(r), err
+}
+
+// StatDir returns a directory's metadata (merging live delta records).
+func (c *Client) StatDir(path string) (Info, error) {
+	r, err := c.m.DirStat(c.m.Caller().Begin(), path)
+	return info(path, r.Entry), err
+}
+
+// Mkdir creates a directory; the parent must exist.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.m.Mkdir(c.m.Caller().Begin(), path)
+	return err
+}
+
+// MkdirAll creates a directory and any missing ancestors.
+func (c *Client) MkdirAll(path string) error {
+	comps := pathutil.Split(path)
+	cur := ""
+	for _, comp := range comps {
+		cur += "/" + comp
+		err := c.Mkdir(cur)
+		if err != nil && !errors.Is(err, types.ErrExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(path string) error {
+	_, err := c.m.Rmdir(c.m.Caller().Begin(), path)
+	return err
+}
+
+// Rename moves directory src (and its subtree) to dst atomically,
+// running the paper's single-RPC loop-detection protocol on IndexNode.
+func (c *Client) Rename(src, dst string) error {
+	_, err := c.m.DirRename(c.m.Caller().Begin(), src, dst)
+	return err
+}
+
+// RenameWithStats is Rename returning per-op cost.
+func (c *Client) RenameWithStats(src, dst string) (OpStats, error) {
+	r, err := c.m.DirRename(c.m.Caller().Begin(), src, dst)
+	return stats(r), err
+}
+
+// List returns a directory's children.
+func (c *Client) List(path string) ([]Info, error) {
+	_, entries, err := c.m.ReadDir(c.m.Caller().Begin(), path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Info, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, info(pathutil.Clean(path)+"/"+e.Name, e))
+	}
+	return out, nil
+}
+
+// Lookup resolves a directory path in a single IndexNode RPC and reports
+// the op's cost.
+func (c *Client) Lookup(path string) (OpStats, error) {
+	r, err := c.m.Lookup(c.m.Caller().Begin(), path)
+	return stats(r), err
+}
+
+// Core exposes the underlying deployment for advanced use (experiments,
+// stats). Most applications never need it.
+func (c *Cluster) Core() *core.Mantle { return c.m }
+
+// ListPage returns up to limit children of path whose names sort after
+// the continuation token `after` (empty to start). The second return is
+// the token for the next page, empty when the listing is complete —
+// the COSS ListObjects pagination contract.
+func (c *Client) ListPage(path, after string, limit int) ([]Info, string, error) {
+	_, entries, next, err := c.m.ReadDirPage(c.m.Caller().Begin(), path, after, limit)
+	if err != nil {
+		return nil, "", err
+	}
+	out := make([]Info, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, info(pathutil.Clean(path)+"/"+e.Name, e))
+	}
+	return out, next, nil
+}

@@ -1,0 +1,221 @@
+package mantle
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+func newRemoteRig(t *testing.T) *RemoteClient {
+	t.Helper()
+	cl := newCluster(t, Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() { _ = Serve(l, cl) }()
+	rc, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	return rc
+}
+
+func TestRemoteLifecycle(t *testing.T) {
+	rc := newRemoteRig(t)
+	if err := rc.MkdirAll("/r/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	inf, err := rc.Create("/r/a/b/o", 777)
+	if err != nil || inf.Size != 777 {
+		t.Fatalf("create = %+v err=%v", inf, err)
+	}
+	st, err := rc.Stat("/r/a/b/o")
+	if err != nil || st.Size != 777 || st.IsDir {
+		t.Fatalf("stat = %+v err=%v", st, err)
+	}
+	ds, err := rc.StatDir("/r/a/b")
+	if err != nil || !ds.IsDir || ds.Entries != 1 {
+		t.Fatalf("statdir = %+v err=%v", ds, err)
+	}
+	kids, err := rc.List("/r/a/b")
+	if err != nil || len(kids) != 1 {
+		t.Fatalf("list = %v err=%v", kids, err)
+	}
+	if err := rc.Rename("/r/a", "/r/z"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Stat("/r/z/b/o"); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := rc.Lookup("/r/z/b")
+	if err != nil || lk.RTTs != 1 {
+		t.Fatalf("lookup stats = %+v err=%v", lk, err)
+	}
+	if err := rc.Delete("/r/z/b/o"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Rmdir("/r/z/b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteErrorsPreserveSentinels(t *testing.T) {
+	rc := newRemoteRig(t)
+	if _, err := rc.Stat("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat missing: %v", err)
+	}
+	if err := rc.MkdirAll("/e/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Mkdir("/e/d"); !errors.Is(err, ErrExists) {
+		t.Fatalf("dup mkdir: %v", err)
+	}
+	if _, err := rc.Create("/e/d/o", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Rmdir("/e/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := rc.Rename("/e", "/e/d/under"); !errors.Is(err, ErrLoop) {
+		t.Fatalf("loop: %v", err)
+	}
+}
+
+func TestRemotePagination(t *testing.T) {
+	rc := newRemoteRig(t)
+	if err := rc.Mkdir("/pg"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := rc.Create(fmt.Sprintf("/pg/o-%02d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	after := ""
+	for {
+		page, next, err := rc.ListPage("/pg", after, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(page)
+		if next == "" {
+			break
+		}
+		after = next
+	}
+	if total != 12 {
+		t.Fatalf("paged total = %d", total)
+	}
+}
+
+func TestRemoteConcurrentCalls(t *testing.T) {
+	rc := newRemoteRig(t)
+	if err := rc.Mkdir("/c"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p := fmt.Sprintf("/c/o-%d-%d", g, i)
+				if _, err := rc.Create(p, 1); err != nil {
+					t.Errorf("create %s: %v", p, err)
+					return
+				}
+				if _, err := rc.Stat(p); err != nil {
+					t.Errorf("stat %s: %v", p, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ds, err := rc.StatDir("/c")
+	if err != nil || ds.Entries != 160 {
+		t.Fatalf("statdir = %+v err=%v", ds, err)
+	}
+}
+
+func TestRemoteMultipleConnections(t *testing.T) {
+	cl := newCluster(t, Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() { _ = Serve(l, cl) }()
+
+	a, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Mkdir("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	// The second connection sees the first's writes immediately.
+	if _, err := b.StatDir("/shared"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteUnknownOpAndDialFailure(t *testing.T) {
+	rc := newRemoteRig(t)
+	// Unknown op travels back as a plain error.
+	if _, err := rc.call(&remoteRequest{Op: "zap"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	// The connection survives an op-level error.
+	if err := rc.Mkdir("/ok"); err != nil {
+		t.Fatal(err)
+	}
+	// Dial to a dead address fails cleanly.
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestRemoteServerSurvivesClientDisconnect(t *testing.T) {
+	cl := newCluster(t, Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() { _ = Serve(l, cl) }()
+
+	a, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Mkdir("/x"); err != nil {
+		t.Fatal(err)
+	}
+	a.Close() // abrupt disconnect
+
+	b, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.StatDir("/x"); err != nil {
+		t.Fatalf("server state after disconnect: %v", err)
+	}
+	// Calls on the closed client fail cleanly.
+	if err := a.Mkdir("/y"); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
