@@ -1,0 +1,36 @@
+# Mantle build & test entry points. CI (.github/workflows/ci.yml) runs
+# fmt + vet + test-race; `make chaos` is the long lane it runs on push.
+
+GO ?= go
+
+.PHONY: all build test test-race fmt vet chaos clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# The short lane: unit, fault-injection, and partition tests. Experiment
+# smoke tests and the heaviest chaos runs are skipped via -short.
+test:
+	$(GO) test -short -count=1 ./...
+
+test-race:
+	$(GO) test -race -short -count=1 ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The long lane: everything, including the crash/partition chaos suite
+# and the paper's experiment smoke tests (quick scale, ~30s).
+chaos:
+	$(GO) test -count=1 -timeout 20m ./...
+
+clean:
+	$(GO) clean ./...

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mantle/internal/api"
+	"mantle/internal/faults"
 	"mantle/internal/indexnode"
 	"mantle/internal/metrics"
 	"mantle/internal/netsim"
@@ -138,6 +139,19 @@ func NewWithDB(cfg Config, db *tafdb.DB) (*Mantle, error) {
 		_, _, h, _ := idx.CacheStats()
 		return h
 	})
+	// Fault-path observability: RPC retries/timeouts/drops seen by this
+	// namespace's caller, degraded (stale-fallback) reads served by the
+	// IndexNode group, and — when a fault injector is installed on the
+	// fabric — its delivery counters.
+	m.stats.Gauge("rpc_retries", func() int64 { r, _, _ := m.caller.Stats(); return r })
+	m.stats.Gauge("rpc_timeouts", func() int64 { _, t, _ := m.caller.Stats(); return t })
+	m.stats.Gauge("rpc_drops", func() int64 { _, _, d := m.caller.Stats(); return d })
+	m.stats.Gauge("indexnode_fallback_reads", idx.FallbackReads)
+	if s, ok := cfg.Fabric.Faults().(interface{ Stats() faults.Stats }); ok {
+		m.stats.Gauge("fault_delivered", func() int64 { return s.Stats().Delivered })
+		m.stats.Gauge("fault_dropped", func() int64 { return s.Stats().Dropped })
+		m.stats.Gauge("fault_delayed", func() int64 { return s.Stats().Delayed })
+	}
 	return m, nil
 }
 
@@ -317,6 +331,12 @@ func (m *Mantle) Mkdir(op *rpc.Op, dirPath string) (res types.Result, err error)
 		return t.Done(op, retries, types.Entry{}), err
 	}
 	err = m.idx.AddDir(op, lres.ID, name, id, types.PermAll)
+	if errors.Is(err, types.ErrUnavailable) {
+		// The IndexNode group cannot commit (no quorum). Compensate the
+		// already-committed TafDB insert so the failed mkdir leaves no
+		// torn state and a post-heal retry starts clean.
+		_, _ = m.db.Rmdir(op, lres.ID, name, id)
+	}
 	t.Phase(types.PhaseExecute)
 	return t.Done(op, retries, entry), err
 }

@@ -52,6 +52,9 @@ func TestRunUnknownID(t *testing.T) {
 // the expected table headers appear.
 func runQuick(t *testing.T, id string, wantSnippets ...string) {
 	t.Helper()
+	if testing.Short() {
+		t.Skipf("%s: experiment smoke tests are the long lane (make chaos)", id)
+	}
 	var buf bytes.Buffer
 	p := quickParams(&buf)
 	if err := Registry[id](p); err != nil {

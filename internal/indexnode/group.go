@@ -48,6 +48,20 @@ type Config struct {
 	ElectionTimeout time.Duration
 	// HeartbeatInterval overrides the leader's idle heartbeat period.
 	HeartbeatInterval time.Duration
+	// RetryWindow bounds how long proxy-side calls chase a leader across
+	// elections (and partitions) before failing with ErrUnavailable.
+	// Default 5s; partition tests shrink it to fail fast.
+	RetryWindow time.Duration
+	// CallTimeout is the per-RPC deadline applied to proxy→replica calls
+	// (0 = the rpc caller's default).
+	CallTimeout time.Duration
+	// DegradedReads lets a replica that cannot reach the leader (no
+	// leader elected, or the leader is partitioned away) serve lookups
+	// from its local — possibly stale — state instead of failing. The
+	// graceful-degradation mode for availability under partitions;
+	// fallback reads are counted and off by default because they weaken
+	// the consistency the rest of the suite asserts.
+	DegradedReads bool
 	// Fabric supplies network latency.
 	Fabric *netsim.Fabric
 	// Name prefixes replica identifiers (one group per namespace).
@@ -86,22 +100,39 @@ func (c Config) withDefaults() Config {
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 50 * time.Millisecond
 	}
+	if c.RetryWindow <= 0 {
+		c.RetryWindow = 5 * time.Second
+	}
 	return c
 }
 
-// retryWindow bounds how long proxy-side calls chase a leader across
-// elections before giving up.
-const retryWindow = 5 * time.Second
+// proxySrc names the proxy endpoint on fault-rule edges: proxies are
+// stateless and interchangeable, so they share one name.
+const proxySrc = "proxy"
 
 // Group is the per-namespace IndexNode service: a Raft group of replicas
 // each holding the full directory access-metadata index, serving
 // single-RPC lookups and coordinating directory mutations.
 type Group struct {
-	cfg      Config
-	replicas []*Replica
-	rafts    []*raft.Raft
-	nodes    []*netsim.Node
-	rr       atomic.Uint64
+	cfg       Config
+	replicas  []*Replica
+	rafts     []*raft.Raft
+	nodes     []*netsim.Node
+	rr        atomic.Uint64
+	fallbacks atomic.Int64
+}
+
+// callOpts returns the per-RPC options for proxy→replica calls.
+func (g *Group) callOpts() rpc.CallOpts {
+	return rpc.CallOpts{Src: proxySrc, Deadline: g.cfg.CallTimeout}
+}
+
+// retryable reports whether err is worth another attempt at a different
+// replica (or the same one after re-election): leadership churn,
+// crash-stop, or fabric-level loss — but never application errors.
+func retryable(err error) bool {
+	return errors.Is(err, types.ErrNotLeader) || errors.Is(err, types.ErrStopped) ||
+		errors.Is(err, types.ErrUnreachable) || errors.Is(err, types.ErrTimeout)
 }
 
 // NewGroup builds, starts, and elects the group.
@@ -117,6 +148,11 @@ func NewGroup(cfg Config) (*Group, error) {
 			node = cfg.Nodes[i]
 		} else {
 			node = netsim.NewNode(fmt.Sprintf("%s-%d", cfg.Name, i), cfg.Workers)
+		}
+		if h := cfg.Fabric.Faults(); h != nil {
+			// A fault injector installed before deployment also governs
+			// replica-local execution (blackholed nodes refuse work).
+			node.SetFaults(h)
 		}
 		g.replicas = append(g.replicas, rep)
 		g.nodes = append(g.nodes, node)
@@ -214,10 +250,16 @@ func (g *Group) readTargets() []int {
 // ReadIndex consistency (§5.1.3). Returns the directory's ID, the
 // aggregated path permission, and whether the serving replica hit its
 // TopDirPathCache.
+//
+// When the serving replica cannot obtain a consistent read point — no
+// leader, or the leader unreachable across a partition — and
+// DegradedReads is on, the replica falls back to its local (possibly
+// stale) state so lookups keep serving while writes are unavailable.
 func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 	var res LookupResult
 	var lastErr error
-	deadline := time.Now().Add(retryWindow)
+	opts := g.callOpts()
+	deadline := time.Now().Add(g.cfg.RetryWindow)
 	for attempt := 0; attempt == 0 || time.Now().Before(deadline); attempt++ {
 		targets := g.readTargets()
 		if len(targets) == 0 {
@@ -232,7 +274,7 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 			continue
 		}
 		var err error
-		callErr := op.Call(node, 0, func() error {
+		callErr := op.Do(node, 0, opts, func() error {
 			serve := func() error {
 				var lerr error
 				res, lerr = rep.Lookup(path)
@@ -244,30 +286,47 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 			// leadership change, when a new leader may not yet have
 			// applied everything committed by its predecessor.
 			err = rf.ConsistentRead(serve)
+			if err != nil && g.cfg.DegradedReads && retryable(err) {
+				// Graceful degradation: serve from local state, stale at
+				// worst by the unreplicated suffix of the log.
+				if sres, serr := rep.Lookup(path); serr == nil {
+					node.Charge(g.lookupCost(sres.Levels))
+					g.fallbacks.Add(1)
+					res, err = sres, nil
+				}
+			}
 			return nil
 		})
 		if callErr != nil {
+			if retryable(callErr) {
+				lastErr = callErr
+				continue
+			}
 			return res, callErr
 		}
 		if err == nil {
 			return res, nil
 		}
-		if errors.Is(err, types.ErrNotLeader) || errors.Is(err, types.ErrStopped) {
+		if retryable(err) {
 			lastErr = err
 			time.Sleep(5 * time.Millisecond)
 			continue
 		}
 		return res, err
 	}
-	return res, fmt.Errorf("indexnode lookup %s: %w", path, lastErr)
+	return res, fmt.Errorf("indexnode lookup %s: %w: %w", path, types.ErrUnavailable, lastErr)
 }
 
 // propose submits a command through the current leader with retry across
-// leader changes. One proxy RPC per attempt.
+// leader changes. One proxy RPC per attempt. Each attempt's commit wait
+// is bounded by the remaining retry window, so a partitioned group makes
+// propose fail fast with ErrUnavailable instead of hanging on an entry
+// that can never commit.
 func (g *Group) propose(op *rpc.Op, c Cmd) error {
 	payload := c.Encode()
 	var lastErr error
-	deadline := time.Now().Add(retryWindow)
+	opts := g.callOpts()
+	deadline := time.Now().Add(g.cfg.RetryWindow)
 	for attempt := 0; attempt == 0 || time.Now().Before(deadline); attempt++ {
 		li := g.leaderIndex()
 		if li < 0 {
@@ -275,28 +334,37 @@ func (g *Group) propose(op *rpc.Op, c Cmd) error {
 			lastErr = types.ErrNotLeader
 			continue
 		}
+		remaining := time.Until(deadline)
+		if remaining < 10*time.Millisecond {
+			remaining = 10 * time.Millisecond // first attempt always gets a slice
+		}
 		var err error
-		callErr := op.Call(g.nodes[li], g.cfg.WriteCost, func() error {
-			_, err = g.rafts[li].Propose(payload)
+		callErr := op.Do(g.nodes[li], g.cfg.WriteCost, opts, func() error {
+			_, err = g.rafts[li].ProposeTimeout(payload, remaining)
 			return nil
 		})
 		if callErr != nil {
+			if retryable(callErr) {
+				lastErr = callErr
+				continue
+			}
 			return callErr
 		}
 		if err == nil {
 			return nil
 		}
-		if errors.Is(err, types.ErrNotLeader) || errors.Is(err, types.ErrStopped) {
-			// Leadership moved (or the old leader crashed): find the new
-			// leader and retry. Commands are idempotent at the state-
-			// machine level (puts/deletes of specific entries).
+		if retryable(err) {
+			// Leadership moved (or the old leader crashed or was cut
+			// off): find the new leader and retry. Commands are
+			// idempotent at the state-machine level (puts/deletes of
+			// specific entries).
 			lastErr = err
 			time.Sleep(5 * time.Millisecond)
 			continue
 		}
 		return err
 	}
-	return fmt.Errorf("indexnode propose: %w", lastErr)
+	return fmt.Errorf("indexnode propose: %w: %w", types.ErrUnavailable, lastErr)
 }
 
 // KillLeader crash-stops the current leader replica (failure injection;
@@ -329,10 +397,13 @@ func (g *Group) SetPerm(op *rpc.Op, id types.InodeID, perm types.Perm, path stri
 }
 
 // PrepareRename runs Figure 9 steps 1–7 on the leader in one RPC.
+// Leadership churn and fabric-level losses are retried within the retry
+// window; application errors (lock conflicts, loops) return immediately.
 func (g *Group) PrepareRename(op *rpc.Op, srcPath, dstParentPath, dstName, lockID string) (RenamePrep, error) {
 	var prep RenamePrep
 	var lastErr error
-	deadline := time.Now().Add(retryWindow)
+	opts := g.callOpts()
+	deadline := time.Now().Add(g.cfg.RetryWindow)
 	for attempt := 0; attempt == 0 || time.Now().Before(deadline); attempt++ {
 		li := g.leaderIndex()
 		if li < 0 {
@@ -342,7 +413,7 @@ func (g *Group) PrepareRename(op *rpc.Op, srcPath, dstParentPath, dstName, lockI
 		}
 		rep, rf, node := g.replicas[li], g.rafts[li], g.nodes[li]
 		var err error
-		callErr := op.Call(node, 0, func() error {
+		callErr := op.Do(node, 0, opts, func() error {
 			cerr := rf.ConsistentRead(func() error {
 				prep, err = rep.PrepareRename(srcPath, dstParentPath, dstName, lockID)
 				node.Charge(g.lookupCost(prep.Levels))
@@ -354,11 +425,20 @@ func (g *Group) PrepareRename(op *rpc.Op, srcPath, dstParentPath, dstName, lockI
 			return nil
 		})
 		if callErr != nil {
+			if retryable(callErr) {
+				lastErr = callErr
+				continue
+			}
 			return prep, callErr
+		}
+		if err != nil && retryable(err) {
+			lastErr = err
+			time.Sleep(5 * time.Millisecond)
+			continue
 		}
 		return prep, err
 	}
-	return prep, fmt.Errorf("indexnode prepare rename: %w", lastErr)
+	return prep, fmt.Errorf("indexnode prepare rename: %w: %w", types.ErrUnavailable, lastErr)
 }
 
 // CommitRename replicates the rename through Raft: every replica moves
@@ -379,7 +459,7 @@ func (g *Group) AbortRename(op *rpc.Op, srcID types.InodeID, srcPath, lockID str
 	if li < 0 {
 		return types.ErrNotLeader
 	}
-	return op.Call(g.nodes[li], g.cfg.WriteCost, func() error {
+	return op.Do(g.nodes[li], g.cfg.WriteCost, g.callOpts(), func() error {
 		g.replicas[li].AbortRename(srcID, srcPath, lockID)
 		return nil
 	})
@@ -400,3 +480,17 @@ func (g *Group) CacheStats() (entries int, bytes int64, hits, misses int64) {
 // Rafts exposes the group's raft replicas (stats and failure injection in
 // tests and tools).
 func (g *Group) Rafts() []*raft.Raft { return g.rafts }
+
+// MemberIDs returns the replica identifiers (raft IDs, which are also
+// the netsim node names) — the handles fault injectors partition on.
+func (g *Group) MemberIDs() []string {
+	ids := make([]string, len(g.rafts))
+	for i, r := range g.rafts {
+		ids[i] = r.ID()
+	}
+	return ids
+}
+
+// FallbackReads counts lookups served from local replica state because a
+// consistent read point was unobtainable (DegradedReads mode).
+func (g *Group) FallbackReads() int64 { return g.fallbacks.Load() }

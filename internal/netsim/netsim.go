@@ -46,14 +46,34 @@ type Config struct {
 	Seed int64
 }
 
+// FaultHook lets a fault injector intercept the fabric's message
+// deliveries and node executions (see internal/faults). The hook is
+// consulted only when installed, so fault-free runs pay a single atomic
+// load per RPC. Implementations must be safe for concurrent use.
+type FaultHook interface {
+	// Edge is consulted once per message round trip between the named
+	// endpoints ("" for callers that do not name themselves). It returns
+	// extra latency to add on top of the fabric RTT, and a non-nil error
+	// when the message is lost (dropped, partitioned, or an endpoint
+	// blackholed) — the delivery still charges its round trip, modelling
+	// the sender waiting out the loss.
+	Edge(src, dst string) (extra time.Duration, err error)
+	// Down reports (with a non-nil error) that the named node is
+	// blackholed; Node.Exec consults it so a dead node never executes
+	// work.
+	Down(node string) error
+}
+
 // Fabric is the shared network. It is safe for concurrent use.
 type Fabric struct {
 	rtt    time.Duration
 	jitter float64
+	seed   int64
 
-	mu   sync.Mutex
-	rng  *rand.Rand
-	rpcs atomic.Int64
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rpcs   atomic.Int64
+	faults atomic.Pointer[FaultHook]
 }
 
 // NewFabric builds a fabric from cfg.
@@ -65,6 +85,7 @@ func NewFabric(cfg Config) *Fabric {
 	return &Fabric{
 		rtt:    cfg.RTT,
 		jitter: cfg.Jitter,
+		seed:   seed,
 		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
@@ -76,22 +97,62 @@ func NewLocalFabric() *Fabric { return NewFabric(Config{}) }
 // RTT returns the configured round-trip time.
 func (f *Fabric) RTT() time.Duration { return f.rtt }
 
+// Seed returns the effective jitter seed (the configured seed, or the
+// fixed default when none was set). Tests include it in failure output
+// so a CI run's timing behaviour reproduces locally.
+func (f *Fabric) Seed() int64 { return f.seed }
+
+// SetFaults installs (or, with nil, removes) the fabric's fault hook.
+// Node executions consult their own hook — see Node.SetFaults or
+// faults.Injector.Attach.
+func (f *Fabric) SetFaults(h FaultHook) {
+	if h == nil {
+		f.faults.Store(nil)
+		return
+	}
+	f.faults.Store(&h)
+}
+
+// Faults returns the installed fault hook, or nil.
+func (f *Fabric) Faults() FaultHook {
+	if p := f.faults.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // RoundTrip charges one network round trip: it sleeps the configured RTT
 // (plus jitter) and increments the fabric-wide RPC counter. With RTT zero
-// it only counts.
+// it only counts. Messages sent this way carry no endpoint names, so
+// edge-scoped fault rules do not apply to them (fabric-wide rules do);
+// fault-aware callers use Deliver.
 func (f *Fabric) RoundTrip() {
+	_ = f.Deliver("", "")
+}
+
+// Deliver charges one round trip between the named endpoints, consulting
+// the fault hook if one is installed. A lost message still sleeps the
+// round trip — the sender pays at least one RTT discovering the loss —
+// and returns a non-nil error wrapping types.ErrUnreachable.
+func (f *Fabric) Deliver(src, dst string) error {
 	f.rpcs.Add(1)
-	d := f.rtt
+	var extra time.Duration
+	var ferr error
+	if p := f.faults.Load(); p != nil {
+		extra, ferr = (*p).Edge(src, dst)
+	}
+	d := f.rtt + extra
 	if d <= 0 {
-		return
+		return ferr
 	}
 	if f.jitter > 0 {
 		f.mu.Lock()
 		frac := (f.rng.Float64() - 0.5) * f.jitter
 		f.mu.Unlock()
-		d += time.Duration(float64(d) * frac)
+		d += time.Duration(float64(f.rtt) * frac)
 	}
 	time.Sleep(d)
+	return ferr
 }
 
 // RPCs returns the total number of round trips charged so far.
@@ -112,8 +173,9 @@ type Node struct {
 	mu   sync.Mutex
 	next time.Time // next free position on the service timeline
 
-	busy atomic.Int64 // cumulative modelled CPU time, ns
-	ops  atomic.Int64
+	busy   atomic.Int64 // cumulative modelled CPU time, ns
+	ops    atomic.Int64
+	faults atomic.Pointer[FaultHook]
 }
 
 // NewNode creates a node with the given number of CPU worker slots.
@@ -128,11 +190,27 @@ func (n *Node) Name() string { return n.name }
 // Workers returns the node's configured parallelism.
 func (n *Node) Workers() int { return n.workers }
 
+// SetFaults installs (or, with nil, removes) the node's fault hook; a
+// blackholed node then refuses Exec.
+func (n *Node) SetFaults(h FaultHook) {
+	if h == nil {
+		n.faults.Store(nil)
+		return
+	}
+	n.faults.Store(&h)
+}
+
 // Exec runs fn on the node after charging cost of CPU service time
 // against the node's capacity. fn itself should be cheap real work (map
 // and tree operations); the modelled cost dominates. The error from fn is
-// returned unchanged.
+// returned unchanged. A node blackholed by an installed fault hook
+// refuses execution with an error wrapping types.ErrUnreachable.
 func (n *Node) Exec(cost time.Duration, fn func() error) error {
+	if p := n.faults.Load(); p != nil {
+		if err := (*p).Down(n.name); err != nil {
+			return err
+		}
+	}
 	n.Charge(cost)
 	return fn()
 }

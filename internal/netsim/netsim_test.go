@@ -143,3 +143,101 @@ func TestUtilization(t *testing.T) {
 		t.Fatal("future reference instant")
 	}
 }
+
+// hookStub is a minimal FaultHook: it cuts one directed edge and marks
+// one node down, and adds a fixed delay on another edge.
+type hookStub struct {
+	cutSrc, cutDst string
+	downNode       string
+	delayDst       string
+	delay          time.Duration
+	err            error
+}
+
+func (h *hookStub) Edge(src, dst string) (time.Duration, error) {
+	if src == h.cutSrc && dst == h.cutDst {
+		return 0, h.err
+	}
+	if dst == h.delayDst {
+		return h.delay, nil
+	}
+	return 0, nil
+}
+
+func (h *hookStub) Down(node string) error {
+	if node == h.downNode {
+		return h.err
+	}
+	return nil
+}
+
+func TestSeedIsExposed(t *testing.T) {
+	if got := NewLocalFabric().Seed(); got != 42 {
+		t.Fatalf("default seed = %d, want the fixed default 42", got)
+	}
+	f := NewFabric(Config{Seed: 1234})
+	if got := f.Seed(); got != 1234 {
+		// Include the effective seed so the failing run reproduces.
+		t.Fatalf("Seed() = %d, want 1234 (fabric seed %d)", got, f.Seed())
+	}
+}
+
+func TestDeliverConsultsHook(t *testing.T) {
+	f := NewLocalFabric()
+	stub := &hookStub{cutSrc: "a", cutDst: "b", err: errSentinel}
+	var hook FaultHook = stub
+	f.SetFaults(hook)
+	if err := f.Deliver("a", "b"); err != errSentinel {
+		t.Fatalf("cut edge delivered: %v (fabric seed %d)", err, f.Seed())
+	}
+	if err := f.Deliver("b", "a"); err != nil {
+		t.Fatalf("open edge failed: %v (fabric seed %d)", err, f.Seed())
+	}
+	// Lost messages still count as round trips.
+	if got := f.RPCs(); got != 2 {
+		t.Fatalf("RPCs = %d, want 2", got)
+	}
+	// Removing the hook restores unconditional delivery.
+	f.SetFaults(nil)
+	if f.Faults() != nil {
+		t.Fatal("Faults() non-nil after removal")
+	}
+	if err := f.Deliver("a", "b"); err != nil {
+		t.Fatalf("hookless delivery failed: %v", err)
+	}
+}
+
+func TestDeliverAddsHookDelay(t *testing.T) {
+	f := NewLocalFabric() // zero RTT: only the injected delay is charged
+	var hook FaultHook = &hookStub{delayDst: "slow", delay: 5 * time.Millisecond}
+	f.SetFaults(hook)
+	start := time.Now()
+	if err := f.Deliver("x", "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("delayed delivery took only %v (fabric seed %d)", elapsed, f.Seed())
+	}
+	start = time.Now()
+	_ = f.Deliver("x", "fast")
+	if elapsed := time.Since(start); elapsed > 2*time.Millisecond {
+		t.Fatalf("undelayed delivery took %v", elapsed)
+	}
+}
+
+func TestNodeExecConsultsDownHook(t *testing.T) {
+	n := NewNode("srv", 0)
+	var hook FaultHook = &hookStub{downNode: "srv", err: errSentinel}
+	n.SetFaults(hook)
+	ran := false
+	if err := n.Exec(0, func() error { ran = true; return nil }); err != errSentinel {
+		t.Fatalf("down node executed: err=%v ran=%v", err, ran)
+	}
+	if n.Ops() != 0 {
+		t.Fatal("down node charged an op")
+	}
+	n.SetFaults(nil)
+	if err := n.Exec(0, func() error { return nil }); err != nil {
+		t.Fatalf("restored node: %v", err)
+	}
+}

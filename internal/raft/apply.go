@@ -1,6 +1,7 @@
 package raft
 
 import (
+	"fmt"
 	"time"
 
 	"mantle/internal/types"
@@ -13,23 +14,47 @@ func errNotLeader() error { return types.ErrNotLeader }
 // non-leader (or if leadership is lost mid-flight) it fails with
 // types.ErrNotLeader and the caller retries against the current leader.
 func (r *Raft) Propose(cmd []byte) (uint64, error) {
+	return r.ProposeTimeout(cmd, 0)
+}
+
+// ProposeTimeout is Propose with a bound on how long the proposal may
+// wait for commit (0 means forever). When the group has no reachable
+// quorum — a partitioned leader keeps accepting proposals until
+// check-quorum steps it down — the entry cannot commit; the timeout
+// fails the call with types.ErrTimeout so the caller can fail fast
+// instead of hanging. An abandoned entry may still commit later; callers
+// that retry rely on command idempotence, as they already do across
+// leader changes.
+func (r *Raft) ProposeTimeout(cmd []byte, d time.Duration) (uint64, error) {
 	r.mu.Lock()
 	if r.role != Leader {
 		r.mu.Unlock()
 		return 0, types.ErrNotLeader
 	}
 	r.mu.Unlock()
+	var timeout <-chan time.Time
+	if d > 0 {
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		timeout = tm.C
+	}
 	p := &proposal{cmd: cmd, done: make(chan proposalResult, 1), enqueued: time.Now()}
 	select {
 	case r.proposeCh <- p:
 	case <-r.stopCh:
 		return 0, types.ErrStopped
+	case <-timeout:
+		return 0, fmt.Errorf("raft: proposal not accepted within %s: %w", d, types.ErrTimeout)
 	}
 	select {
 	case res := <-p.done:
 		return res.index, res.err
 	case <-r.stopCh:
 		return 0, types.ErrStopped
+	case <-timeout:
+		// The proposal stays pending; its buffered done channel absorbs a
+		// late completion without leaking a goroutine.
+		return 0, fmt.Errorf("raft: proposal not committed within %s: %w", d, types.ErrTimeout)
 	}
 }
 

@@ -16,9 +16,20 @@
 //     the disk bottleneck that batching amortises (§5.2.3).
 //
 // Networking runs over internal/netsim: every inter-replica RPC charges
-// one fabric round trip. Replicas live in one process, so network
-// partitions are out of scope; crash-stop failures (Stop) and leader
-// changes are supported and tested.
+// one fabric round trip and consults the fabric's fault hook (see
+// internal/faults), so messages between replicas can be dropped,
+// delayed, or partitioned. Crash-stop failures (Stop), leader changes,
+// and network partitions are all supported and tested:
+//
+//   - every inter-replica send goes through deliver(), which fails with
+//     types.ErrUnreachable when the edge is cut; the sender treats the
+//     peer like an unresponsive node and retries on the next kick,
+//   - a leader that cannot contact a quorum of voters within the
+//     check-quorum window (2× its election timeout) steps down, so an
+//     isolated leader stops accepting writes instead of serving a
+//     minority indefinitely, and
+//   - ProposeTimeout bounds how long a proposal may wait for commit, so
+//     writes into a quorum-less group fail fast instead of hanging.
 package raft
 
 import (
@@ -180,6 +191,9 @@ type Raft struct {
 	nextIndex  map[string]uint64
 	matchIndex map[string]uint64
 	pending    map[uint64]*proposal // index -> waiting proposal
+	// lastContact records the last successful exchange with each peer
+	// while leader; the check-quorum rule reads it to detect isolation.
+	lastContact map[string]time.Time
 
 	electionReset time.Time
 
@@ -432,7 +446,9 @@ func (r *Raft) startElectionLocked() {
 			continue
 		}
 		go func(p *Raft) {
-			r.cfg.Fabric.RoundTrip()
+			if r.deliver(p) != nil {
+				return // vote request lost in the fabric
+			}
 			granted, replyTerm := p.handleRequestVote(term, r.id, lastIdx, lastTerm)
 			r.mu.Lock()
 			defer r.mu.Unlock()
@@ -497,13 +513,55 @@ func (r *Raft) becomeLeaderLocked() {
 	r.role = Leader
 	r.leaderID = r.id
 	lastIdx, _ := r.lastLogLocked()
+	r.lastContact = make(map[string]time.Time, len(r.peers))
+	now := time.Now()
 	for id := range r.peers {
 		r.nextIndex[id] = lastIdx + 1
 		r.matchIndex[id] = 0
+		r.lastContact[id] = now
 	}
 	term := r.term
 	r.wg.Add(1)
 	go r.leaderLoop(term)
+}
+
+// deliver charges one round trip to peer, consulting the fabric's fault
+// hook. A non-nil error means the message (or its reply) was lost; the
+// caller treats the peer as unresponsive.
+func (r *Raft) deliver(p *Raft) error {
+	return r.cfg.Fabric.Deliver(r.id, p.id)
+}
+
+// touchPeerLocked records a successful exchange with the peer for the
+// check-quorum rule. Caller holds r.mu.
+func (r *Raft) touchPeerLocked(id string) {
+	if r.lastContact != nil {
+		r.lastContact[id] = time.Now()
+	}
+}
+
+// quorumReachable reports whether the leader has heard from a quorum of
+// voters (itself included) within the check-quorum window. A leader cut
+// off from the majority steps down so it cannot keep serving
+// linearisable reads — or accepting writes that can never commit — from
+// the minority side of a partition.
+func (r *Raft) quorumReachable() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.role != Leader {
+		return true
+	}
+	window := 2 * r.cfg.ElectionTimeout
+	reachable := 1 // self
+	for id, p := range r.peers {
+		if p.IsLearner() {
+			continue
+		}
+		if time.Since(r.lastContact[id]) <= window {
+			reachable++
+		}
+	}
+	return reachable >= r.voters/2+1
 }
 
 // handleRequestVote is the RequestVote RPC handler.

@@ -100,7 +100,12 @@ func (r *Raft) queryLeaderCommit() readResult {
 	if !ok {
 		return readResult{err: types.ErrNotLeader}
 	}
-	r.cfg.Fabric.RoundTrip()
+	if err := r.deliver(leader); err != nil {
+		// Leader unreachable (partition or blackhole): surface the fabric
+		// error so callers can distinguish "no leader known" from "leader
+		// cut off" and degrade accordingly.
+		return readResult{err: err}
+	}
 	if leader.stopped() {
 		return readResult{err: types.ErrNotLeader}
 	}
@@ -164,7 +169,9 @@ func (r *Raft) TransferLeadership(targetID string) error {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	r.cfg.Fabric.RoundTrip()
+	if err := r.deliver(target); err != nil {
+		return fmt.Errorf("raft: transfer to %s: %w", targetID, err)
+	}
 	target.handleTimeoutNow(term)
 	return nil
 }

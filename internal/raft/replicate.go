@@ -71,6 +71,16 @@ func (r *Raft) leaderLoop(term uint64) {
 			if !r.stillLeader(term) {
 				return
 			}
+			if !r.quorumReachable() {
+				// Check-quorum: isolated from the majority — step down so
+				// writes fail fast and another voter can win an election.
+				r.mu.Lock()
+				if r.role == Leader && r.term == term {
+					r.becomeFollowerLocked(r.term, "")
+				}
+				r.mu.Unlock()
+				return
+			}
 			kickAll()
 		case p := <-r.proposeCh:
 			batch := []*proposal{p}
@@ -159,7 +169,9 @@ func (r *Raft) replicateTo(term uint64, peer *Raft, kick chan struct{}, done cha
 				snapIdx, snapTerm := first, r.log[0].Term
 				data := r.snapData
 				r.mu.Unlock()
-				r.cfg.Fabric.RoundTrip()
+				if r.deliver(peer) != nil {
+					break // message lost; retry on next kick
+				}
 				ok, replyTerm := peer.handleInstallSnapshot(term, r.id, snapIdx, snapTerm, data)
 				r.mu.Lock()
 				if r.role != Leader || r.term != term {
@@ -172,6 +184,7 @@ func (r *Raft) replicateTo(term uint64, peer *Raft, kick chan struct{}, done cha
 					return
 				}
 				if ok {
+					r.touchPeerLocked(peer.id)
 					if snapIdx > r.matchIndex[peer.id] {
 						r.matchIndex[peer.id] = snapIdx
 					}
@@ -191,7 +204,9 @@ func (r *Raft) replicateTo(term uint64, peer *Raft, kick chan struct{}, done cha
 			commit := r.commitIndex
 			r.mu.Unlock()
 
-			r.cfg.Fabric.RoundTrip()
+			if r.deliver(peer) != nil {
+				break // message lost in the fabric; retry on next kick
+			}
 			ok, replyTerm, conflictHint := peer.handleAppendEntries(
 				term, r.id, prev.Index, prev.Term, entries, commit)
 
@@ -210,6 +225,7 @@ func (r *Raft) replicateTo(term uint64, peer *Raft, kick chan struct{}, done cha
 				r.mu.Unlock()
 				break
 			}
+			r.touchPeerLocked(peer.id)
 			if ok {
 				if n := prev.Index + uint64(len(entries)); n > r.matchIndex[peer.id] {
 					r.matchIndex[peer.id] = n

@@ -4,34 +4,203 @@
 // measures: one network round trip on the fabric plus CPU service time on
 // the target node. A per-operation Tracker counts round trips so the
 // harness can report #RTTs per lookup (Table 1) and per op.
+//
+// The layer is failure-aware: calls may carry a per-call deadline and a
+// RetryPolicy (capped exponential backoff with seeded jitter). Fabric
+// errors — messages lost to injected drops, partitions, or blackholes,
+// all wrapping types.ErrUnreachable — are retried within the budget;
+// application errors returned by the handler are never retried. With no
+// fault hook installed on the fabric, no deadline, and the default
+// policy, a call costs exactly what it did before this layer existed.
 package rpc
 
 import (
+	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mantle/internal/netsim"
+	"mantle/internal/types"
 )
+
+// RetryPolicy shapes retries of fabric-level failures within one call.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per call, including the
+	// first. Zero or negative means one attempt (no retries).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each subsequent
+	// retry doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each backoff applied as uniform random
+	// jitter (±backoff×Jitter/2), drawn from the caller's seeded source.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the caller default: three attempts with a fast,
+// capped backoff — enough to ride out transient injected drops without
+// masking real partitions.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Jitter:      0.2,
+	}
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the sleep before retry number n (1-based).
+func (p RetryPolicy) backoff(n int, jitterFrac float64) time.Duration {
+	d := p.BaseBackoff
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(float64(d) * (jitterFrac - 0.5) * p.Jitter)
+	}
+	return d
+}
+
+// CallOpts carries the failure-handling knobs of one call. The zero
+// value uses the caller's defaults with an unnamed source endpoint.
+type CallOpts struct {
+	// Src names the calling endpoint for edge-scoped fault rules
+	// (proxies use "proxy"; "" matches only fabric-wide rules).
+	Src string
+	// Deadline bounds the call's total wall time across retries. Zero
+	// uses the caller's default; the caller default zero means no
+	// deadline.
+	Deadline time.Duration
+	// Retry overrides the caller's retry policy for this call.
+	Retry *RetryPolicy
+}
 
 // Caller issues RPCs over a fabric. Safe for concurrent use.
 type Caller struct {
 	fabric *netsim.Fabric
+	policy RetryPolicy
+	// deadline is the default per-call deadline (0 = none).
+	deadline atomic.Int64
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	retries  atomic.Int64
+	timeouts atomic.Int64
+	drops    atomic.Int64
 }
 
-// NewCaller builds a caller over fabric.
+// NewCaller builds a caller over fabric with the default retry policy.
+// Backoff jitter derives from the fabric's seed, so retry timing is as
+// reproducible as the fabric itself.
 func NewCaller(fabric *netsim.Fabric) *Caller {
-	return &Caller{fabric: fabric}
+	return &Caller{
+		fabric: fabric,
+		policy: DefaultRetryPolicy(),
+		rng:    rand.New(rand.NewSource(fabric.Seed())),
+	}
 }
 
 // Fabric returns the underlying fabric.
 func (c *Caller) Fabric() *netsim.Fabric { return c.fabric }
 
-// Call performs one RPC: a network round trip, then fn on node charged
-// with cost of CPU service time. The error from fn is returned.
+// SetRetryPolicy replaces the caller's default retry policy. Not safe to
+// race with in-flight calls; configure at setup.
+func (c *Caller) SetRetryPolicy(p RetryPolicy) { c.policy = p }
+
+// SetDeadline sets the default per-call deadline (0 disables).
+func (c *Caller) SetDeadline(d time.Duration) { c.deadline.Store(int64(d)) }
+
+// Stats returns cumulative fault-handling counters: fabric-level retries
+// performed, calls that exceeded their deadline, and message losses
+// observed (each lost attempt counts once).
+func (c *Caller) Stats() (retries, timeouts, drops int64) {
+	return c.retries.Load(), c.timeouts.Load(), c.drops.Load()
+}
+
+func (c *Caller) jitterFrac() float64 {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return c.rng.Float64()
+}
+
+// Call performs one RPC with the caller's defaults and an unnamed source
+// endpoint: a network round trip, then fn on node charged with cost of
+// CPU service time. The error from fn is returned.
 func (c *Caller) Call(node *netsim.Node, cost time.Duration, fn func() error) error {
-	c.fabric.RoundTrip()
-	return node.Exec(cost, fn)
+	return c.do(nil, node, cost, CallOpts{}, fn)
+}
+
+// Do performs one RPC with explicit options.
+func (c *Caller) Do(node *netsim.Node, cost time.Duration, opts CallOpts, fn func() error) error {
+	return c.do(nil, node, cost, opts, fn)
+}
+
+// do is the shared call path. op, when non-nil, receives one RTT per
+// fabric attempt (a retried call really does cross the network again).
+func (c *Caller) do(op *Op, node *netsim.Node, cost time.Duration, opts CallOpts, fn func() error) error {
+	policy := c.policy
+	if opts.Retry != nil {
+		policy = *opts.Retry
+	}
+	deadline := opts.Deadline
+	if deadline == 0 {
+		deadline = time.Duration(c.deadline.Load())
+	}
+	var start time.Time
+	if deadline > 0 {
+		start = time.Now()
+	}
+	budget := policy.attempts()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			if d := policy.backoff(attempt-1, c.jitterFrac()); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if deadline > 0 && time.Since(start) >= deadline {
+			c.timeouts.Add(1)
+			return fmt.Errorf("rpc to %s: %w after %d attempt(s) (last: %v)",
+				node.Name(), types.ErrTimeout, attempt-1, lastErr)
+		}
+		if op != nil {
+			op.rtts.Add(1)
+		}
+		err := c.fabric.Deliver(opts.Src, node.Name())
+		if err == nil {
+			err = node.Exec(cost, fn)
+			if err == nil || !errors.Is(err, types.ErrUnreachable) {
+				// Success, or an application error: never retried.
+				return err
+			}
+		}
+		c.drops.Add(1)
+		lastErr = err
+		if attempt >= budget {
+			return fmt.Errorf("rpc to %s: attempts exhausted (%d): %w",
+				node.Name(), budget, lastErr)
+		}
+	}
 }
 
 // Op tracks the RPCs issued on behalf of one metadata operation. It is
@@ -45,16 +214,24 @@ type Op struct {
 // Begin starts tracking a new operation.
 func (c *Caller) Begin() *Op { return &Op{caller: c} }
 
-// Call performs one tracked RPC.
+// Call performs one tracked RPC with the caller's defaults.
 func (o *Op) Call(node *netsim.Node, cost time.Duration, fn func() error) error {
-	o.rtts.Add(1)
-	return o.caller.Call(node, cost, fn)
+	return o.caller.do(o, node, cost, CallOpts{}, fn)
+}
+
+// Do performs one tracked RPC with explicit options. Every fabric
+// attempt — including retried and lost ones — counts as one RTT: the
+// wire was crossed (or waited out) each time.
+func (o *Op) Do(node *netsim.Node, cost time.Duration, opts CallOpts, fn func() error) error {
+	return o.caller.do(o, node, cost, opts, fn)
 }
 
 // Parallel issues all calls concurrently, waits for completion, and
-// returns the first non-nil error (all calls run regardless). Each call
-// counts as one RTT, but wall time is a single round of overlapped RPCs —
-// the behaviour InfiniFS's parallel resolution depends on.
+// returns the first non-nil error by call order (all calls run
+// regardless, so no goroutine outlives the round even when some calls
+// fail or time out). Each call counts its own RTTs, but wall time is a
+// single round of overlapped RPCs — the behaviour InfiniFS's parallel
+// resolution depends on.
 func (o *Op) Parallel(calls []func(op *Op) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(calls))

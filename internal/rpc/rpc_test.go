@@ -2,10 +2,15 @@ package rpc
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"mantle/internal/faults"
 	"mantle/internal/netsim"
+	"mantle/internal/types"
 )
 
 func TestCallCountsRoundTrips(t *testing.T) {
@@ -80,5 +85,215 @@ func TestParallelReturnsFirstError(t *testing.T) {
 	})
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// flakyHook drops the first failN deliveries to dst, then delivers.
+type flakyHook struct {
+	dst   string
+	failN int32
+	seen  atomic.Int32
+}
+
+func (h *flakyHook) Edge(src, dst string) (time.Duration, error) {
+	if dst == h.dst && h.seen.Add(1) <= h.failN {
+		return 0, fmt.Errorf("flaky: %s->%s lost: %w", src, dst, types.ErrUnreachable)
+	}
+	return 0, nil
+}
+
+func (h *flakyHook) Down(string) error { return nil }
+
+// leakCheck fails the test if the goroutine count has not returned to
+// (near) its starting level by test end — the before/after bound the
+// fault-injection suite uses to prove no RPC path strands a goroutine.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before+2 {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+	})
+}
+
+func TestRetryRidesOutTransientDrops(t *testing.T) {
+	fabric := netsim.NewLocalFabric()
+	var hook netsim.FaultHook = &flakyHook{dst: "n", failN: 2}
+	fabric.SetFaults(hook)
+	c := NewCaller(fabric)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+	node := netsim.NewNode("n", 0)
+	op := c.Begin()
+	calls := 0
+	if err := op.Call(node, 0, func() error { calls++; return nil }); err != nil {
+		t.Fatalf("call failed through transient drops: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("handler ran %d times", calls)
+	}
+	// Every fabric attempt counts as an RTT: two losses + one delivery.
+	if op.RTTs() != 3 {
+		t.Fatalf("RTTs = %d, want 3", op.RTTs())
+	}
+	retries, timeouts, drops := c.Stats()
+	if retries != 2 || timeouts != 0 || drops != 2 {
+		t.Fatalf("stats = %d/%d/%d", retries, timeouts, drops)
+	}
+}
+
+func TestRetryBudgetExhaustsToUnreachable(t *testing.T) {
+	fabric := netsim.NewLocalFabric()
+	var hook netsim.FaultHook = &flakyHook{dst: "n", failN: 1 << 30}
+	fabric.SetFaults(hook)
+	c := NewCaller(fabric)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Microsecond})
+	node := netsim.NewNode("n", 0)
+	err := c.Call(node, 0, func() error { t.Fatal("handler ran"); return nil })
+	if !errors.Is(err, types.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, drops := stats3(c); drops != 4 {
+		t.Fatalf("drops = %d, want 4", drops)
+	}
+}
+
+func stats3(c *Caller) (int64, int64, int64) { return c.Stats() }
+
+func TestApplicationErrorsAreNotRetried(t *testing.T) {
+	c := NewCaller(netsim.NewLocalFabric())
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond})
+	node := netsim.NewNode("n", 0)
+	appErr := errors.New("no such entry")
+	calls := 0
+	err := c.Call(node, 0, func() error { calls++; return appErr })
+	if !errors.Is(err, appErr) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if retries, _, _ := c.Stats(); retries != 0 {
+		t.Fatalf("app error consumed %d retries", retries)
+	}
+}
+
+func TestDeadlineExceededReturnsTimeout(t *testing.T) {
+	fabric := netsim.NewLocalFabric()
+	var hook netsim.FaultHook = &flakyHook{dst: "n", failN: 1 << 30}
+	fabric.SetFaults(hook)
+	c := NewCaller(fabric)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 1 << 20, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	node := netsim.NewNode("n", 0)
+	start := time.Now()
+	err := c.Do(node, 0, CallOpts{Deadline: 25 * time.Millisecond}, func() error { return nil })
+	if !errors.Is(err, types.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline enforced after %v", elapsed)
+	}
+	if _, timeouts, _ := c.Stats(); timeouts != 1 {
+		t.Fatalf("timeouts = %d", timeouts)
+	}
+}
+
+func TestParallelUnderFaultsFirstErrorAndRTTs(t *testing.T) {
+	leakCheck(t)
+	fabric := netsim.NewLocalFabric()
+	var hook netsim.FaultHook = &flakyHook{dst: "dead", failN: 1 << 30}
+	fabric.SetFaults(hook)
+	c := NewCaller(fabric)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond})
+	ok := netsim.NewNode("ok", 0)
+	dead := netsim.NewNode("dead", 0)
+
+	op := c.Begin()
+	appErr := errors.New("app failure")
+	err := op.Parallel([]func(*Op) error{
+		func(o *Op) error { return o.Call(ok, 0, func() error { return nil }) },
+		func(o *Op) error { return o.Call(dead, 0, func() error { return nil }) }, // 2 lost attempts
+		func(o *Op) error { return o.Call(ok, 0, func() error { return appErr }) },
+		func(o *Op) error { return o.Call(ok, 0, func() error { return nil }) },
+	})
+	// First error by call order: the unreachable call at index 1, not the
+	// app error at index 2.
+	if !errors.Is(err, types.ErrUnreachable) || errors.Is(err, appErr) {
+		t.Fatalf("first-error selection picked %v", err)
+	}
+	// RTT accounting when some calls fail: 3 delivered + 2 lost attempts.
+	if op.RTTs() != 5 {
+		t.Fatalf("RTTs = %d, want 5 (fabric seed %d)", op.RTTs(), fabric.Seed())
+	}
+}
+
+func TestParallelWithTimeoutsLeaksNoGoroutines(t *testing.T) {
+	leakCheck(t)
+	fabric := netsim.NewLocalFabric()
+	var hook netsim.FaultHook = &flakyHook{dst: "dead", failN: 1 << 30}
+	fabric.SetFaults(hook)
+	c := NewCaller(fabric)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 1 << 20, BaseBackoff: 500 * time.Microsecond, MaxBackoff: 500 * time.Microsecond})
+	c.SetDeadline(10 * time.Millisecond)
+	ok := netsim.NewNode("ok", 0)
+	dead := netsim.NewNode("dead", 0)
+
+	for round := 0; round < 4; round++ {
+		op := c.Begin()
+		calls := make([]func(*Op) error, 16)
+		for i := range calls {
+			node := ok
+			if i%2 == 1 {
+				node = dead
+			}
+			calls[i] = func(o *Op) error {
+				return o.Call(node, 0, func() error { return nil })
+			}
+		}
+		err := op.Parallel(calls)
+		if !errors.Is(err, types.ErrTimeout) {
+			t.Fatalf("round %d err = %v (fabric seed %d)", round, err, fabric.Seed())
+		}
+		// Timed-out calls still charged their attempted round trips; the
+		// 8 successes charge exactly one each.
+		if op.RTTs() < 16 {
+			t.Fatalf("round %d RTTs = %d, want >= 16", round, op.RTTs())
+		}
+	}
+}
+
+func TestParallelIntegratesWithInjector(t *testing.T) {
+	leakCheck(t)
+	fabric := netsim.NewLocalFabric()
+	inj := faults.New(77)
+	node := netsim.NewNode("srv", 0)
+	inj.Attach(fabric, node)
+	inj.DropEdge("", "srv", 0.5)
+	c := NewCaller(fabric)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 64, BaseBackoff: time.Microsecond})
+	op := c.Begin()
+	calls := make([]func(*Op) error, 32)
+	var served atomic.Int32
+	for i := range calls {
+		calls[i] = func(o *Op) error {
+			return o.Call(node, 0, func() error { served.Add(1); return nil })
+		}
+	}
+	if err := op.Parallel(calls); err != nil {
+		t.Fatalf("err = %v (injector seed %d)", err, inj.Seed())
+	}
+	if served.Load() != 32 {
+		t.Fatalf("served = %d", served.Load())
+	}
+	// Under 50%% loss, 32 deliveries must have cost strictly more
+	// attempts than calls.
+	if op.RTTs() <= 32 {
+		t.Fatalf("RTTs = %d under 50%% loss (injector seed %d)", op.RTTs(), inj.Seed())
+	}
+	s := inj.Stats()
+	if s.Dropped == 0 || s.Delivered < 32 {
+		t.Fatalf("injector stats = %+v (seed %d)", s, inj.Seed())
 	}
 }

@@ -250,6 +250,17 @@ var (
 	ErrNotLeader = errors.New("raft: not leader")
 	// ErrStopped: component has been shut down.
 	ErrStopped = errors.New("metadata: service stopped")
+	// ErrUnreachable: a simulated message was lost in the fabric (dropped,
+	// partitioned, or the peer blackholed). Fabric-level and therefore
+	// retryable, unlike application errors.
+	ErrUnreachable = errors.New("netsim: peer unreachable")
+	// ErrTimeout: an RPC exceeded its per-call deadline (including
+	// retries).
+	ErrTimeout = errors.New("rpc: deadline exceeded")
+	// ErrUnavailable: the service cannot currently make progress (no
+	// reachable quorum leader); the operation failed fast rather than
+	// hanging. Surfaced by writes during partitions.
+	ErrUnavailable = errors.New("metadata: service unavailable")
 )
 
 // Key identifies a MetaTable row: the parent directory ID plus the
