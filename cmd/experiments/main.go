@@ -29,6 +29,7 @@ func main() {
 		rtt     = flag.Duration("rtt", 200*time.Microsecond, "simulated per-RPC round trip")
 		quick   = flag.Bool("quick", false, "tiny smoke-test scale")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		metrics = flag.String("metrics-out", "", "file receiving per-system metrics dumps (tail latencies, RPC counters, fabric edges)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,15 @@ func main() {
 		ObjectsPerClient: *objects,
 		Depth:            *depth,
 		Quick:            *quick,
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		p.MetricsOut = f
 	}
 	if err := experiments.Run(ids, p); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

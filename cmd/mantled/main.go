@@ -38,6 +38,7 @@ import (
 
 	"mantle"
 	"mantle/internal/fsck"
+	"mantle/internal/trace"
 )
 
 type server struct {
@@ -72,8 +73,14 @@ func main() {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
-		_ = cl.Core().Metrics().Write(w)
+		core := cl.Core()
+		_ = core.Metrics().Write(w)
+		_ = core.Caller().Fabric().WriteMetrics(w)
+		for _, n := range core.Index().Nodes() {
+			_ = n.WriteMetrics(w)
+		}
 	})
+	mux.HandleFunc("/trace", s.traceOp)
 	mux.HandleFunc("/fsck", func(w http.ResponseWriter, r *http.Request) {
 		rep := fsck.Check(cl.Core())
 		w.Header().Set("Content-Type", "application/json")
@@ -93,6 +100,36 @@ func main() {
 	log.Printf("mantled: %d shards, %d replicas (+%d learners), listening on %s",
 		*shards, *replicas, *learners, *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// traceOp runs one traced lookup against ?path= (default "/") and
+// returns the recorded span tree. With ?format=chrome the response is
+// Chrome trace_event JSON, loadable in chrome://tracing or Perfetto.
+func (s *server) traceOp(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		path = "/"
+	}
+	core := s.cl.Core()
+	tr, ctx := trace.New("lookup " + path)
+	_, opErr := core.Lookup(core.Caller().BeginTraced(ctx), path)
+	tr.Finish()
+
+	if r.URL.Query().Get("format") == "chrome" {
+		data, err := tr.ChromeJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	if opErr != nil {
+		fmt.Fprintf(w, "# op error: %v\n", opErr)
+	}
+	tr.WriteTree(w)
 }
 
 func (s *server) handle(w http.ResponseWriter, r *http.Request) {

@@ -21,6 +21,7 @@ import (
 
 	"mantle/internal/bench"
 	"mantle/internal/experiments"
+	"mantle/internal/trace"
 	"mantle/internal/types"
 	"mantle/internal/workload"
 )
@@ -35,6 +36,8 @@ func main() {
 		objects  = flag.Int("objects", 40, "pre-populated objects per client")
 		depth    = flag.Int("depth", 10, "working directory depth")
 		rtt      = flag.Duration("rtt", 200*time.Microsecond, "simulated per-RPC round trip")
+		dumpM    = flag.Bool("dump-metrics", false, "print the system's metrics registry and fabric edge stats after the run")
+		doTrace  = flag.Bool("trace", false, "run one traced lookup after the benchmark and print its span tree")
 	)
 	flag.Parse()
 
@@ -113,9 +116,10 @@ func main() {
 		*system, *op, mode, p.Clients, p.PerClient, res.Wall.Round(time.Millisecond))
 	fmt.Printf("  throughput : %s (%d ops, %d errors, %d retries)\n",
 		bench.Kops(res.Throughput), res.Ops, res.Errors, res.Retries)
-	fmt.Printf("  latency    : mean %v  p50 %v  p99 %v  max %v\n",
+	fmt.Printf("  latency    : mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
 		res.Latency.Mean().Round(time.Microsecond),
 		res.Latency.Quantile(0.5).Round(time.Microsecond),
+		res.Latency.Quantile(0.95).Round(time.Microsecond),
 		res.Latency.Quantile(0.99).Round(time.Microsecond),
 		res.Latency.Max().Round(time.Microsecond))
 	fmt.Printf("  breakdown  : lookup %v  loopdetect %v  execute %v\n",
@@ -123,6 +127,24 @@ func main() {
 		res.MeanPhase(types.PhaseLoopDetect).Round(time.Microsecond),
 		res.MeanPhase(types.PhaseExecute).Round(time.Microsecond))
 	fmt.Printf("  RPCs/op    : %.1f\n", res.MeanRTTs())
+
+	if *doTrace {
+		// One traced lookup of a worker's working-directory path shows
+		// where an operation of this benchmark's namespace spends its
+		// round trips, stage by stage.
+		path := ns.WorkDirs[0]
+		tr, ctx := trace.New("lookup " + path)
+		if _, err := s.Lookup(s.Caller().BeginTraced(ctx), path); err != nil {
+			fatal(err)
+		}
+		tr.Finish()
+		fmt.Printf("\ntrace of one lookup (%d trips, %d bytes):\n", tr.Trips(), tr.Bytes())
+		tr.WriteTree(os.Stdout)
+	}
+	if *dumpM {
+		fmt.Println("\nmetrics:")
+		experiments.DumpSystem(os.Stdout, *system, s)
+	}
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"mantle/internal/radix"
 	"mantle/internal/rpc"
 	"mantle/internal/storage"
+	"mantle/internal/trace"
 	"mantle/internal/txn"
 	"mantle/internal/types"
 )
@@ -94,12 +95,16 @@ func (s *Service) Stop() {}
 // resolve resolves a directory path: AM-Cache hit, else parallel
 // speculative resolution (with cache fill).
 func (s *Service) resolve(op *rpc.Op, dirPath string) (types.Entry, types.Perm, error) {
+	ctx, sp := trace.Start(op.Context(), "path-resolve")
+	sp.SetAttr("mode", "parallel")
+	defer sp.End()
 	if s.amCache != nil {
 		if e, perm, ok := s.amCache.get(dirPath); ok {
+			sp.SetAttr("cache", "am-hit")
 			return e, perm, nil
 		}
 	}
-	e, perm, err := s.store.ResolvePathParallel(op, dirPath)
+	e, perm, err := s.store.ResolvePathParallel(op.WithContext(ctx), dirPath)
 	if err == nil && s.amCache != nil {
 		s.amCache.put(dirPath, e, perm)
 	}

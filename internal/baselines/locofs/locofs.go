@@ -25,6 +25,7 @@ import (
 	"mantle/internal/raft"
 	"mantle/internal/rpc"
 	"mantle/internal/storage"
+	"mantle/internal/trace"
 	"mantle/internal/types"
 )
 
@@ -203,8 +204,10 @@ func (s *Service) propose(c dirCmd) error {
 // directory server.
 func (s *Service) Lookup(op *rpc.Op, dirPath string) (types.Result, error) {
 	t := api.NewTimer()
+	ctx, sp := trace.Start(op.Context(), "path-resolve")
+	sp.SetAttr("mode", "dir-server-local")
 	var out types.Entry
-	err := s.dirCall(op, func(st *dirState, node *netsim.Node) error {
+	err := s.dirCall(op.WithContext(ctx), func(st *dirState, node *netsim.Node) error {
 		e, _, levels, err := st.resolve(dirPath)
 		node.Charge(s.resolveCost(levels))
 		if err != nil {
@@ -213,6 +216,7 @@ func (s *Service) Lookup(op *rpc.Op, dirPath string) (types.Result, error) {
 		out = e.entry()
 		return nil
 	})
+	sp.End()
 	t.Phase(types.PhaseLookup)
 	return t.Done(op, 0, out), err
 }

@@ -20,6 +20,7 @@ import (
 	"mantle/internal/pathutil"
 	"mantle/internal/rpc"
 	"mantle/internal/storage"
+	"mantle/internal/trace"
 	"mantle/internal/types"
 )
 
@@ -87,7 +88,10 @@ func (s *Service) Stop() {}
 // Lookup implements api.Service: the sequential multi-RPC traversal.
 func (s *Service) Lookup(op *rpc.Op, dirPath string) (types.Result, error) {
 	t := api.NewTimer()
-	e, perm, err := s.store.ResolvePath(op, dirPath)
+	ctx, sp := trace.Start(op.Context(), "path-resolve")
+	sp.SetAttr("mode", "sequential")
+	e, perm, err := s.store.ResolvePath(op.WithContext(ctx), dirPath)
+	sp.End()
 	t.Phase(types.PhaseLookup)
 	if err != nil {
 		return t.Done(op, 0, types.Entry{}), err

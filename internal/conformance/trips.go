@@ -1,0 +1,42 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"mantle/internal/api"
+	"mantle/internal/rpc"
+	"mantle/internal/trace"
+)
+
+// TripCount measures the RPC round trips one operation costs through
+// the trace-accounting layer: it runs fn under a fresh traced op and
+// returns the trace's trip total. This is the instrument behind the
+// Table 1 conformance assertions — trip counts come exclusively from
+// the per-attempt accounting in internal/rpc, not from any
+// system-specific counter.
+func TripCount(s api.Service, name string, fn func(op *rpc.Op) error) (int64, error) {
+	tr, ctx := trace.New(name)
+	op := s.Caller().BeginTraced(ctx)
+	err := fn(op)
+	tr.Finish()
+	return tr.Trips(), err
+}
+
+// LookupTrips measures the round trips of one Lookup of path.
+func LookupTrips(s api.Service, path string) (int64, error) {
+	return TripCount(s, "lookup "+path, func(op *rpc.Op) error {
+		_, err := s.Lookup(op, path)
+		return err
+	})
+}
+
+// DeepPath returns a directory path of exactly depth components
+// ("/t0/t1/.../t<depth-1>").
+func DeepPath(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "/t%d", i)
+	}
+	return b.String()
+}

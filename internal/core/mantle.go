@@ -35,6 +35,7 @@ import (
 	"mantle/internal/pathutil"
 	"mantle/internal/rpc"
 	"mantle/internal/tafdb"
+	"mantle/internal/trace"
 	"mantle/internal/txn"
 	"mantle/internal/types"
 )
@@ -139,14 +140,18 @@ func NewWithDB(cfg Config, db *tafdb.DB) (*Mantle, error) {
 		_, _, h, _ := idx.CacheStats()
 		return h
 	})
-	// Fault-path observability: RPC retries/timeouts/drops seen by this
-	// namespace's caller, degraded (stale-fallback) reads served by the
-	// IndexNode group, and — when a fault injector is installed on the
-	// fabric — its delivery counters.
-	m.stats.Gauge("rpc_retries", func() int64 { r, _, _ := m.caller.Stats(); return r })
-	m.stats.Gauge("rpc_timeouts", func() int64 { _, t, _ := m.caller.Stats(); return t })
-	m.stats.Gauge("rpc_drops", func() int64 { _, _, d := m.caller.Stats(); return d })
+	// Fault-path observability: RPC retries/timeouts/drops and the
+	// whole-call latency histogram from this namespace's caller,
+	// degraded (stale-fallback) reads served by the IndexNode group,
+	// and — when a fault injector is installed on the fabric — its
+	// delivery counters.
+	m.caller.RegisterMetrics(m.stats)
 	m.stats.Gauge("indexnode_fallback_reads", idx.FallbackReads)
+	// Component-owned latency histograms, exposed under the service
+	// registry: transaction commits (TafDB, retries included) and raft
+	// proposals (IndexNode group, enqueue → applied).
+	m.stats.AttachLatency("latency_txn_commit", db.TxnLatency())
+	m.stats.AttachLatency("latency_raft_propose", idx.ProposeLatency())
 	if s, ok := cfg.Fabric.Faults().(interface{ Stats() faults.Stats }); ok {
 		m.stats.Gauge("fault_delivered", func() int64 { return s.Stats().Delivered })
 		m.stats.Gauge("fault_dropped", func() int64 { return s.Stats().Dropped })
@@ -173,16 +178,30 @@ func (m *Mantle) record(op string, res types.Result, err error) {
 }
 
 // lookup resolves dirPath, consulting the optional proxy-side cache
-// before issuing the IndexNode RPC.
+// before issuing the IndexNode RPC. The whole resolution is one
+// path-resolve span and one latency_resolve observation.
 func (m *Mantle) lookup(op *rpc.Op, dirPath string) (indexnode.LookupResult, error) {
+	ctx, sp := trace.Start(op.Context(), "path-resolve")
+	start := time.Now()
+	defer func() {
+		m.stats.Latency("latency_resolve").Observe(time.Since(start))
+		sp.End()
+	}()
 	if m.pcache != nil {
 		if res, ok := m.pcache.get(pathutil.Clean(dirPath)); ok {
+			sp.SetAttr("cache", "proxy-hit")
 			return res, nil
 		}
 	}
-	res, err := m.idx.Lookup(op, dirPath)
-	if err == nil && m.pcache != nil {
-		m.pcache.put(dirPath, res)
+	res, err := m.idx.Lookup(op.WithContext(ctx), dirPath)
+	if err == nil {
+		if res.Hit {
+			sp.SetAttr("cache", "topdir-hit")
+		}
+		sp.Annotate("levels", "%d", res.Levels)
+		if m.pcache != nil {
+			m.pcache.put(dirPath, res)
+		}
 	}
 	return res, err
 }
@@ -357,11 +376,21 @@ func (m *Mantle) Rmdir(op *rpc.Op, dirPath string) (res types.Result, err error)
 		return t.Done(op, retries, types.Entry{}), err
 	}
 	err = m.idx.RemoveDir(op, lres.ParentID, name, lres.ID, dirPath)
-	if m.pcache != nil {
-		m.pcache.invalidate(dirPath)
-	}
+	m.invalidate(op, dirPath)
 	t.Phase(types.PhaseExecute)
 	return t.Done(op, retries, types.Entry{}), err
+}
+
+// invalidate drops proxy-cache state under path (no-op without the
+// proxy cache), recorded as a cache-invalidate span.
+func (m *Mantle) invalidate(op *rpc.Op, path string) {
+	if m.pcache == nil {
+		return
+	}
+	_, sp := trace.Start(op.Context(), "cache-invalidate")
+	sp.SetAttr("path", path)
+	m.pcache.invalidate(path)
+	sp.End()
 }
 
 // DirRename implements api.Service: the Figure 9 protocol. The lookup
@@ -401,9 +430,7 @@ func (m *Mantle) DirRename(op *rpc.Op, srcPath, dstPath string) (res types.Resul
 			return t.Done(op, totalRetries, types.Entry{}), err
 		}
 		err = m.idx.CommitRename(op, prep, dstName, srcPath, uuid)
-		if m.pcache != nil {
-			m.pcache.invalidate(srcPath)
-		}
+		m.invalidate(op, srcPath)
 		t.Phase(types.PhaseExecute)
 		return t.Done(op, totalRetries, types.Entry{}), err
 	}
@@ -426,9 +453,7 @@ func (m *Mantle) SetPerm(op *rpc.Op, dirPath string, perm types.Perm) (res types
 		return t.Done(op, retries, types.Entry{}), err
 	}
 	err = m.idx.SetPerm(op, lres.ID, perm, dirPath)
-	if m.pcache != nil {
-		m.pcache.invalidate(dirPath)
-	}
+	m.invalidate(op, dirPath)
 	t.Phase(types.PhaseExecute)
 	return t.Done(op, retries, types.Entry{}), err
 }

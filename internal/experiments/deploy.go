@@ -49,6 +49,10 @@ type Params struct {
 	Depth int
 	// Quick shrinks everything for smoke tests.
 	Quick bool
+	// MetricsOut, when non-nil, receives a per-system observability dump
+	// (metrics registry, RPC counters, fabric edge registry) after each
+	// system finishes its measurement.
+	MetricsOut io.Writer
 }
 
 // WithDefaults fills unset fields.

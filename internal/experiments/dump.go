@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mantle/internal/api"
+	"mantle/internal/metrics"
+)
+
+// DumpSystem writes one system's observability evidence to w after a
+// measurement: the service metrics registry when the system exposes one
+// (Mantle's includes the latency_resolve / latency_txn_commit /
+// latency_raft_propose percentile histograms), the RPC caller's
+// fault-handling counters, and the fabric's per-edge trip/loss/latency
+// registry. Every figure regeneration run with Params.MetricsOut thus
+// also emits tail-latency and trip-count evidence.
+func DumpSystem(w io.Writer, name string, s api.Service) {
+	fmt.Fprintf(w, "# system: %s\n", name)
+	if m, ok := s.(interface{ Metrics() *metrics.Registry }); ok {
+		_ = m.Metrics().Write(w)
+	} else {
+		retries, timeouts, drops := s.Caller().Stats()
+		fmt.Fprintf(w, "rpc_retries %d\nrpc_timeouts %d\nrpc_drops %d\n", retries, timeouts, drops)
+	}
+	_ = s.Caller().Fabric().WriteMetrics(w)
+	fmt.Fprintln(w)
+}

@@ -22,6 +22,9 @@ func forEachSystem(p Params, names []string, fn func(name string, s api.Service,
 			return err
 		}
 		err = fn(name, s, ns)
+		if err == nil && p.MetricsOut != nil {
+			DumpSystem(p.MetricsOut, name, s)
+		}
 		s.Stop()
 		if err != nil {
 			return err

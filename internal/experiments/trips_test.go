@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"mantle/internal/conformance"
+	"mantle/internal/netsim"
+)
+
+// TestTable1TripConformance reproduces the shape of the paper's Table 1
+// through the trace trip-accounting layer alone: Mantle and LocoFS
+// resolve any path in a constant number of RPC round trips, while
+// InfiniFS and DBtable/Tectonic pay one round trip per path component
+// (InfiniFS overlaps them in time, but the trip count still grows).
+func TestTable1TripConformance(t *testing.T) {
+	depths := []int{4, 16, 64}
+	trips := map[string][]int64{}
+
+	for _, name := range Systems {
+		// Zero-RTT fabric: the assertion is about trip counts, not
+		// latency, so the fabric only needs to count.
+		s, err := NewSystem(name, netsim.NewLocalFabric(), DefaultMantleOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, depth := range depths {
+			if err := conformance.MkdirAll(s, conformance.DeepPath(depth)); err != nil {
+				t.Fatalf("%s depth %d: %v", name, depth, err)
+			}
+		}
+		for _, depth := range depths {
+			n, err := conformance.LookupTrips(s, conformance.DeepPath(depth))
+			if err != nil {
+				t.Fatalf("%s lookup depth %d: %v", name, depth, err)
+			}
+			trips[name] = append(trips[name], n)
+		}
+		s.Stop()
+	}
+	t.Logf("lookup trips at depths %v: %v", depths, trips)
+
+	// Mantle and LocoFS: single-RPC resolution, constant in depth.
+	for _, name := range []string{"mantle", "locofs"} {
+		for i, n := range trips[name] {
+			if n != 1 {
+				t.Errorf("%s: %d trips at depth %d, want 1 (constant)", name, n, depths[i])
+			}
+		}
+	}
+	// InfiniFS and Tectonic/DBtable: one trip per component, growing
+	// with depth.
+	for _, name := range []string{"infinifs", "tectonic"} {
+		for i, n := range trips[name] {
+			if n != int64(depths[i]) {
+				t.Errorf("%s: %d trips at depth %d, want %d (one per level)", name, n, depths[i], depths[i])
+			}
+		}
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mantle/internal/metrics"
 	"mantle/internal/netsim"
 	"mantle/internal/raft"
 	"mantle/internal/rpc"
+	"mantle/internal/trace"
 	"mantle/internal/types"
 )
 
@@ -120,6 +122,9 @@ type Group struct {
 	nodes     []*netsim.Node
 	rr        atomic.Uint64
 	fallbacks atomic.Int64
+	// proposeLat is shared by every replica's raft config, giving one
+	// group-wide raft-propose latency distribution.
+	proposeLat *metrics.Latency
 }
 
 // callOpts returns the per-RPC options for proxy→replica calls.
@@ -138,7 +143,7 @@ func retryable(err error) bool {
 // NewGroup builds, starts, and elects the group.
 func NewGroup(cfg Config) (*Group, error) {
 	cfg = cfg.withDefaults()
-	g := &Group{cfg: cfg}
+	g := &Group{cfg: cfg, proposeLat: &metrics.Latency{}}
 	n := cfg.Voters + cfg.Learners
 	raftCfgs := make([]raft.Config, n)
 	for i := 0; i < n; i++ {
@@ -168,6 +173,7 @@ func NewGroup(cfg Config) (*Group, error) {
 			MaxBatch:          cfg.MaxBatch,
 			SnapshotThreshold: cfg.SnapshotThreshold,
 			SM:                rep,
+			ProposeLatency:    g.proposeLat,
 		}
 	}
 	g.rafts = raft.NewGroup(raftCfgs)
@@ -323,6 +329,10 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 // propose fail fast with ErrUnavailable instead of hanging on an entry
 // that can never commit.
 func (g *Group) propose(op *rpc.Op, c Cmd) error {
+	ctx, sp := trace.Start(op.Context(), "raft-propose")
+	sp.Annotate("cmd", "%d", c.Kind)
+	defer sp.End()
+	op = op.WithContext(ctx)
 	payload := c.Encode()
 	var lastErr error
 	opts := g.callOpts()
@@ -494,3 +504,7 @@ func (g *Group) MemberIDs() []string {
 // FallbackReads counts lookups served from local replica state because a
 // consistent read point was unobtainable (DegradedReads mode).
 func (g *Group) FallbackReads() int64 { return g.fallbacks.Load() }
+
+// ProposeLatency returns the group-wide raft-propose latency histogram
+// (enqueue → applied, shared across replicas).
+func (g *Group) ProposeLatency() *metrics.Latency { return g.proposeLat }

@@ -1,8 +1,16 @@
 // Package metrics is a small dependency-free metrics registry: named
-// counters and latency accumulators with a text exposition format, the
-// observability surface a production metadata service needs (the paper's
-// deployment section describes profiling IndexNode CPU and per-namespace
-// peak throughputs; this is the hook such monitoring reads from).
+// counters, gauges, and fixed-bucket latency histograms with a text
+// exposition format — the observability surface a production metadata
+// service needs (the paper's deployment section describes profiling
+// IndexNode CPU and per-namespace peak throughputs; this is the hook
+// such monitoring reads from).
+//
+// Latency replaces the earlier lossy count/mean/max accumulator with an
+// HDR-style fixed-bucket histogram: 4 geometric buckets per octave from
+// 1µs to ~3min (ratio 2^¼ ≈ 1.19), so any quantile estimate is within
+// ~19% relative error of the true sample — tight enough to report
+// p50/p95/p99 tails honestly. Observe is lock-free (one atomic add per
+// bucket), so hot paths record at full concurrency.
 package metrics
 
 import (
@@ -28,24 +36,98 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Latency accumulates duration observations: count, sum, and max.
+// Histogram bucket layout: bucket 0 holds samples < 1µs; bucket i
+// (1 ≤ i < NumBuckets-1) holds samples in (bound(i-1), bound(i)] with
+// bound(i) = 1µs × 2^(i/4); the last bucket is the overflow.
+const (
+	// NumBuckets is the fixed bucket count of every Latency histogram.
+	NumBuckets = 112
+	bucketUnit = time.Microsecond
+)
+
+// bucketBounds[i] is the inclusive upper bound of bucket i (the last
+// entry is a sentinel for the overflow bucket).
+var bucketBounds = func() [NumBuckets]time.Duration {
+	var b [NumBuckets]time.Duration
+	// 2^(1/4) as a rational walk: recompute each octave from a shifted
+	// base to avoid float drift across 27 octaves.
+	for i := 0; i < NumBuckets-1; i++ {
+		b[i] = time.Duration(float64(bucketUnit) * pow2(float64(i)/4))
+	}
+	b[NumBuckets-1] = 1 << 62
+	return b
+}()
+
+// pow2 returns 2^x for x ≥ 0 without importing math (keeps the hot
+// path free of it too; this runs once at init).
+func pow2(x float64) float64 {
+	n := int(x)
+	frac := x - float64(n)
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	// 2^frac via 4th roots of two (frac is always k/4 here).
+	const root4 = 1.189207115002721 // 2^(1/4)
+	for f := frac; f > 1e-9; f -= 0.25 {
+		v *= root4
+	}
+	return v
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (the last
+// bucket's bound is effectively +Inf). Exposed for boundary tests.
+func BucketBound(i int) time.Duration { return bucketBounds[i] }
+
+// bucketOf maps a duration to its bucket index by binary search over
+// the fixed bounds (7 probes).
+func bucketOf(d time.Duration) int {
+	lo, hi := 0, NumBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= bucketBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Latency is a fixed-bucket latency histogram. The zero value is ready
+// to use; all methods are safe for concurrent use.
 type Latency struct {
-	count atomic.Int64
-	sum   atomic.Int64
-	max   atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64 // stored as -(min+1) so zero means "unset"
 }
 
 // Observe records one duration.
 func (l *Latency) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.buckets[bucketOf(d)].Add(1)
 	l.count.Add(1)
 	l.sum.Add(int64(d))
 	for {
 		cur := l.max.Load()
 		if int64(d) <= cur || l.max.CompareAndSwap(cur, int64(d)) {
-			return
+			break
+		}
+	}
+	for {
+		cur := l.min.Load()
+		if (cur != 0 && -(int64(d)+1) <= cur) || l.min.CompareAndSwap(cur, -(int64(d)+1)) {
+			break
 		}
 	}
 }
+
+// Count returns the number of observations.
+func (l *Latency) Count() int64 { return l.count.Load() }
 
 // Snapshot returns count, mean, and max.
 func (l *Latency) Snapshot() (count int64, mean, max time.Duration) {
@@ -54,6 +136,82 @@ func (l *Latency) Snapshot() (count int64, mean, max time.Duration) {
 		mean = time.Duration(l.sum.Load() / count)
 	}
 	return count, mean, time.Duration(l.max.Load())
+}
+
+// Max returns the largest observation (exact, not bucketed).
+func (l *Latency) Max() time.Duration { return time.Duration(l.max.Load()) }
+
+// Min returns the smallest observation (exact, not bucketed).
+func (l *Latency) Min() time.Duration {
+	v := l.min.Load()
+	if v == 0 {
+		return 0
+	}
+	return time.Duration(-v - 1)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the target
+// rank's bucket and interpolating linearly inside it. Estimates are
+// clamped to the exact observed [min, max], so Quantile(0) and
+// Quantile(1) are exact and every estimate is within one bucket ratio
+// (~19%) of the true sample.
+func (l *Latency) Quantile(q float64) time.Duration {
+	count := l.count.Load()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(count))
+	if target >= count {
+		target = count - 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		n := l.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n > target {
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = bucketBounds[i-1]
+			}
+			upper := bucketBounds[i]
+			if i == NumBuckets-1 {
+				upper = l.Max() // overflow bucket: cap at the exact max
+			}
+			// Interpolate by rank position within the bucket.
+			frac := (float64(target-cum) + 0.5) / float64(n)
+			est := lower + time.Duration(frac*float64(upper-lower))
+			return clampDur(est, l.Min(), l.Max())
+		}
+		cum += n
+	}
+	return l.Max()
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// Buckets snapshots the raw bucket counts (boundary tests, exporters).
+func (l *Latency) Buckets() [NumBuckets]int64 {
+	var out [NumBuckets]int64
+	for i := range out {
+		out[i] = l.buckets[i].Load()
+	}
+	return out
 }
 
 // Registry holds named metrics. The zero value is not usable; create
@@ -86,7 +244,7 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Latency returns (creating if needed) the named latency accumulator.
+// Latency returns (creating if needed) the named latency histogram.
 func (r *Registry) Latency(name string) *Latency {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -98,6 +256,17 @@ func (r *Registry) Latency(name string) *Latency {
 	return l
 }
 
+// AttachLatency registers an externally owned histogram under name, so
+// a component can keep observing its own histogram (e.g. TafDB's
+// txn-commit timer, Raft's propose timer) while the service registry
+// exposes it in one dump. Replaces any histogram previously registered
+// under name.
+func (r *Registry) AttachLatency(name string, l *Latency) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.latencies[name] = l
+}
+
 // Gauge registers a callback sampled at exposition time.
 func (r *Registry) Gauge(name string, fn func() int64) {
 	r.mu.Lock()
@@ -106,25 +275,43 @@ func (r *Registry) Gauge(name string, fn func() int64) {
 }
 
 // Write renders the registry in a flat "name value" text format, sorted
-// by name (latency metrics expand to _count/_mean_us/_max_us).
+// by name. Latency histograms expand to _count/_mean_us/_p50_us/
+// _p95_us/_p99_us/_max_us. Gauge callbacks are snapshotted under the
+// registry lock but invoked outside it, so a gauge may safely read
+// other metrics (or another registry) without deadlocking.
 func (r *Registry) Write(w io.Writer) error {
 	r.mu.Lock()
-	lines := make([]string, 0, len(r.counters)+3*len(r.latencies)+len(r.gauges))
+	lines := make([]string, 0, len(r.counters)+6*len(r.latencies)+len(r.gauges))
 	for name, c := range r.counters {
 		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
 	}
+	lats := make(map[string]*Latency, len(r.latencies))
 	for name, l := range r.latencies {
+		lats[name] = l
+	}
+	type gauge struct {
+		name string
+		fn   func() int64
+	}
+	gauges := make([]gauge, 0, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges = append(gauges, gauge{name, fn})
+	}
+	r.mu.Unlock()
+	for name, l := range lats {
 		count, mean, max := l.Snapshot()
 		lines = append(lines,
 			fmt.Sprintf("%s_count %d", name, count),
 			fmt.Sprintf("%s_mean_us %d", name, mean.Microseconds()),
+			fmt.Sprintf("%s_p50_us %d", name, l.Quantile(0.50).Microseconds()),
+			fmt.Sprintf("%s_p95_us %d", name, l.Quantile(0.95).Microseconds()),
+			fmt.Sprintf("%s_p99_us %d", name, l.Quantile(0.99).Microseconds()),
 			fmt.Sprintf("%s_max_us %d", name, max.Microseconds()),
 		)
 	}
-	for name, fn := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, fn()))
+	for _, g := range gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", g.name, g.fn()))
 	}
-	r.mu.Unlock()
 	sort.Strings(lines)
 	for _, line := range lines {
 		if _, err := fmt.Fprintln(w, line); err != nil {

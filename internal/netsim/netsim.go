@@ -74,6 +74,10 @@ type Fabric struct {
 	rng    *rand.Rand
 	rpcs   atomic.Int64
 	faults atomic.Pointer[FaultHook]
+
+	// edges is the per-edge delivery registry (see stats.go), keyed
+	// "src->dst" → *EdgeStats.
+	edges sync.Map
 }
 
 // NewFabric builds a fabric from cfg.
@@ -136,13 +140,19 @@ func (f *Fabric) RoundTrip() {
 // and returns a non-nil error wrapping types.ErrUnreachable.
 func (f *Fabric) Deliver(src, dst string) error {
 	f.rpcs.Add(1)
+	edge := f.Edge(src, dst)
+	edge.Trips.Add(1)
 	var extra time.Duration
 	var ferr error
 	if p := f.faults.Load(); p != nil {
 		extra, ferr = (*p).Edge(src, dst)
 	}
+	if ferr != nil {
+		edge.Losses.Add(1)
+	}
 	d := f.rtt + extra
 	if d <= 0 {
+		edge.Latency.Observe(0)
 		return ferr
 	}
 	if f.jitter > 0 {
@@ -151,6 +161,7 @@ func (f *Fabric) Deliver(src, dst string) error {
 		f.mu.Unlock()
 		d += time.Duration(float64(f.rtt) * frac)
 	}
+	edge.Latency.Observe(d)
 	time.Sleep(d)
 	return ferr
 }
@@ -176,6 +187,7 @@ type Node struct {
 	busy   atomic.Int64 // cumulative modelled CPU time, ns
 	ops    atomic.Int64
 	faults atomic.Pointer[FaultHook]
+	stats  nodeStats
 }
 
 // NewNode creates a node with the given number of CPU worker slots.
@@ -233,6 +245,11 @@ func (n *Node) Charge(cost time.Duration) {
 	start := n.next
 	n.next = n.next.Add(advance)
 	n.mu.Unlock()
+	if wait := start.Sub(now); wait > 0 {
+		n.stats.queueWait.Observe(wait)
+	} else {
+		n.stats.queueWait.Observe(0)
+	}
 	// Sub-floor waits are absorbed rather than slept: OS timer
 	// granularity (~1ms on stock kernels) would overshoot a short sleep
 	// by far more than the wait itself, distorting the model. The

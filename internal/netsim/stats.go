@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"mantle/internal/metrics"
+)
+
+// EdgeStats accumulates per-edge delivery accounting: round trips
+// charged, messages lost to injected faults, and the delivery-latency
+// histogram (RTT + jitter + injected extra). One EdgeStats exists per
+// distinct (src, dst) pair seen on the fabric.
+type EdgeStats struct {
+	Trips   atomic.Int64
+	Losses  atomic.Int64
+	Latency metrics.Latency
+}
+
+// edgeKey renders the registry key for a (src, dst) pair; unnamed
+// callers (client-originated RPCs) show as "client".
+func edgeKey(src, dst string) string {
+	if src == "" {
+		src = "client"
+	}
+	if dst == "" {
+		dst = "client"
+	}
+	return src + "->" + dst
+}
+
+// Edge returns (creating if needed) the stats of the (src, dst) edge.
+func (f *Fabric) Edge(src, dst string) *EdgeStats {
+	key := edgeKey(src, dst)
+	if e, ok := f.edges.Load(key); ok {
+		return e.(*EdgeStats)
+	}
+	e, _ := f.edges.LoadOrStore(key, &EdgeStats{})
+	return e.(*EdgeStats)
+}
+
+// Edges snapshots the per-edge registry, keyed "src->dst".
+func (f *Fabric) Edges() map[string]*EdgeStats {
+	out := map[string]*EdgeStats{}
+	f.edges.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*EdgeStats)
+		return true
+	})
+	return out
+}
+
+// WriteMetrics renders the fabric's per-edge registry in the flat
+// "name value" exposition format used by metrics.Registry, sorted by
+// name: edge_<src->dst>_{trips,losses,p50_us,p99_us,max_us}.
+func (f *Fabric) WriteMetrics(w io.Writer) error {
+	lines := []string{fmt.Sprintf("fabric_rpcs %d", f.RPCs())}
+	f.edges.Range(func(k, v any) bool {
+		key, e := k.(string), v.(*EdgeStats)
+		lines = append(lines,
+			fmt.Sprintf("edge_%s_trips %d", key, e.Trips.Load()),
+			fmt.Sprintf("edge_%s_losses %d", key, e.Losses.Load()),
+			fmt.Sprintf("edge_%s_p50_us %d", key, e.Latency.Quantile(0.50).Microseconds()),
+			fmt.Sprintf("edge_%s_p99_us %d", key, e.Latency.Quantile(0.99).Microseconds()),
+			fmt.Sprintf("edge_%s_max_us %d", key, e.Latency.Max().Microseconds()),
+		)
+		return true
+	})
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeStats is the per-node instrumentation shared by all nodes.
+type nodeStats struct {
+	queueWait metrics.Latency
+}
+
+// QueueWait returns the node's queue-delay histogram: for every Charge,
+// the time the request waited for its slot on the service timeline
+// (zero on an unsaturated node). Tail growth here is the signature of
+// a saturated metadata server (§6.3 of the paper).
+func (n *Node) QueueWait() *metrics.Latency { return &n.stats.queueWait }
+
+// WriteMetrics renders the node's counters and queue-delay histogram in
+// the flat exposition format, prefixed node_<name>_.
+func (n *Node) WriteMetrics(w io.Writer) error {
+	q := n.QueueWait()
+	lines := []string{
+		fmt.Sprintf("node_%s_ops %d", n.name, n.Ops()),
+		fmt.Sprintf("node_%s_busy_us %d", n.name, n.BusyTime().Microseconds()),
+		fmt.Sprintf("node_%s_queue_wait_p50_us %d", n.name, q.Quantile(0.50).Microseconds()),
+		fmt.Sprintf("node_%s_queue_wait_p99_us %d", n.name, q.Quantile(0.99).Microseconds()),
+		fmt.Sprintf("node_%s_queue_wait_max_us %d", n.name, q.Max().Microseconds()),
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

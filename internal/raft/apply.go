@@ -99,6 +99,9 @@ func (r *Raft) applier() {
 				r.metrics.IngestWait += p.appended.Sub(p.enqueued)
 				r.metrics.CommitWait += now.Sub(p.appended)
 				r.metrics.mu.Unlock()
+				if r.cfg.ProposeLatency != nil {
+					r.cfg.ProposeLatency.Observe(now.Sub(p.enqueued))
+				}
 				p.done <- proposalResult{index: idx}
 			}
 			r.maybeCompact()

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"mantle/internal/metrics"
 	"mantle/internal/netsim"
 	"mantle/internal/types"
 )
@@ -130,6 +131,11 @@ type Config struct {
 	SnapshotThreshold int
 	// SM is the replica's state machine.
 	SM StateMachine
+	// ProposeLatency, when non-nil, observes end-to-end proposal
+	// latency (enqueue → applied) on the replica completing each
+	// proposal. Share one histogram across a group's replicas to get a
+	// group-wide raft-propose distribution.
+	ProposeLatency *metrics.Latency
 }
 
 func (c *Config) withDefaults() Config {

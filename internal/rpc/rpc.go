@@ -15,6 +15,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -22,9 +23,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mantle/internal/metrics"
 	"mantle/internal/netsim"
+	"mantle/internal/trace"
 	"mantle/internal/types"
 )
+
+// MsgOverheadBytes is the fixed per-message framing cost charged to a
+// trace's byte accounting on every fabric attempt, on top of the
+// payload size declared in CallOpts.Bytes.
+const MsgOverheadBytes = 64
 
 // RetryPolicy shapes retries of fabric-level failures within one call.
 type RetryPolicy struct {
@@ -91,6 +99,10 @@ type CallOpts struct {
 	Deadline time.Duration
 	// Retry overrides the caller's retry policy for this call.
 	Retry *RetryPolicy
+	// Bytes is the approximate payload size of the call, charged (plus
+	// MsgOverheadBytes) to the trace's byte accounting per attempt.
+	// Zero charges only the framing overhead.
+	Bytes int64
 }
 
 // Caller issues RPCs over a fabric. Safe for concurrent use.
@@ -106,6 +118,10 @@ type Caller struct {
 	retries  atomic.Int64
 	timeouts atomic.Int64
 	drops    atomic.Int64
+
+	// lat, when attached via RegisterMetrics, observes whole-call
+	// latency (all attempts and backoffs included).
+	lat atomic.Pointer[metrics.Latency]
 }
 
 // NewCaller builds a caller over fabric with the default retry policy.
@@ -136,6 +152,18 @@ func (c *Caller) Stats() (retries, timeouts, drops int64) {
 	return c.retries.Load(), c.timeouts.Load(), c.drops.Load()
 }
 
+// RegisterMetrics exposes the caller's fault-handling counters as
+// gauges (rpc_retries, rpc_timeouts, rpc_drops) and attaches a
+// whole-call latency histogram as latency_rpc, so chaos-lane runs
+// report retry storms and call tails in the standard metrics dump.
+func (c *Caller) RegisterMetrics(reg *metrics.Registry) {
+	reg.Gauge("rpc_retries", func() int64 { return c.retries.Load() })
+	reg.Gauge("rpc_timeouts", func() int64 { return c.timeouts.Load() })
+	reg.Gauge("rpc_drops", func() int64 { return c.drops.Load() })
+	l := reg.Latency("latency_rpc")
+	c.lat.Store(l)
+}
+
 func (c *Caller) jitterFrac() float64 {
 	c.jmu.Lock()
 	defer c.jmu.Unlock()
@@ -155,8 +183,17 @@ func (c *Caller) Do(node *netsim.Node, cost time.Duration, opts CallOpts, fn fun
 }
 
 // do is the shared call path. op, when non-nil, receives one RTT per
-// fabric attempt (a retried call really does cross the network again).
+// fabric attempt (a retried call really does cross the network again)
+// and supplies the trace context: each attempt records an "rpc" span
+// and charges one trip plus message bytes to the trace.
 func (c *Caller) do(op *Op, node *netsim.Node, cost time.Duration, opts CallOpts, fn func() error) error {
+	if l := c.lat.Load(); l != nil {
+		defer func(st time.Time) { l.Observe(time.Since(st)) }(time.Now())
+	}
+	ctx := context.Background()
+	if op != nil && op.ctx != nil {
+		ctx = op.ctx
+	}
 	policy := c.policy
 	if opts.Retry != nil {
 		policy = *opts.Retry
@@ -184,16 +221,27 @@ func (c *Caller) do(op *Op, node *netsim.Node, cost time.Duration, opts CallOpts
 				node.Name(), types.ErrTimeout, attempt-1, lastErr)
 		}
 		if op != nil {
-			op.rtts.Add(1)
+			op.state.rtts.Add(1)
+			op.state.bytes.Add(opts.Bytes + MsgOverheadBytes)
 		}
+		_, sp := trace.Start(ctx, "rpc")
+		sp.SetAttr("dst", node.Name())
+		if attempt > 1 {
+			sp.Annotate("attempt", "%d", attempt)
+		}
+		trace.AddTrips(ctx, 1)
+		trace.AddBytes(ctx, opts.Bytes+MsgOverheadBytes)
 		err := c.fabric.Deliver(opts.Src, node.Name())
 		if err == nil {
 			err = node.Exec(cost, fn)
 			if err == nil || !errors.Is(err, types.ErrUnreachable) {
 				// Success, or an application error: never retried.
+				sp.End()
 				return err
 			}
 		}
+		sp.Annotate("err", "%v", err)
+		sp.End()
 		c.drops.Add(1)
 		lastErr = err
 		if attempt >= budget {
@@ -203,16 +251,51 @@ func (c *Caller) do(op *Op, node *netsim.Node, cost time.Duration, opts CallOpts
 	}
 }
 
-// Op tracks the RPCs issued on behalf of one metadata operation. It is
-// safe for concurrent use (InfiniFS's speculative resolution issues
-// parallel RPCs within a single op).
-type Op struct {
-	caller *Caller
-	rtts   atomic.Int32
+// opState is the shared accounting of one metadata operation, common
+// to every context-derived view of the op.
+type opState struct {
+	rtts  atomic.Int32
+	bytes atomic.Int64
 }
 
-// Begin starts tracking a new operation.
-func (c *Caller) Begin() *Op { return &Op{caller: c} }
+// Op tracks the RPCs issued on behalf of one metadata operation and
+// carries the operation's trace context. It is safe for concurrent use
+// (InfiniFS's speculative resolution issues parallel RPCs within a
+// single op). WithContext derives an Op bound to a child span while
+// sharing the same counters, so intermediate layers can nest spans
+// without forking the accounting.
+type Op struct {
+	caller *Caller
+	state  *opState
+	ctx    context.Context
+}
+
+// Begin starts tracking a new operation with no trace attached.
+func (c *Caller) Begin() *Op {
+	return &Op{caller: c, state: &opState{}, ctx: context.Background()}
+}
+
+// BeginTraced starts tracking a new operation whose RPCs record spans
+// and trip/byte accounting against the trace carried by ctx (if any).
+func (c *Caller) BeginTraced(ctx context.Context) *Op {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Op{caller: c, state: &opState{}, ctx: ctx}
+}
+
+// Context returns the trace context the op's RPCs record against.
+func (o *Op) Context() context.Context { return o.ctx }
+
+// WithContext returns a derived Op whose RPCs record against ctx —
+// typically a child span started from o.Context() — while sharing the
+// original op's RTT and byte counters.
+func (o *Op) WithContext(ctx context.Context) *Op {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Op{caller: o.caller, state: o.state, ctx: ctx}
+}
 
 // Call performs one tracked RPC with the caller's defaults.
 func (o *Op) Call(node *netsim.Node, cost time.Duration, fn func() error) error {
@@ -252,4 +335,8 @@ func (o *Op) Parallel(calls []func(op *Op) error) error {
 }
 
 // RTTs returns the number of round trips the operation has issued.
-func (o *Op) RTTs() int { return int(o.rtts.Load()) }
+func (o *Op) RTTs() int { return int(o.state.rtts.Load()) }
+
+// Bytes returns the message bytes the operation has put on the wire
+// (payload plus per-attempt framing overhead).
+func (o *Op) Bytes() int64 { return o.state.bytes.Load() }

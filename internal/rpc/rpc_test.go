@@ -1,15 +1,19 @@
 package rpc
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"mantle/internal/faults"
+	"mantle/internal/metrics"
 	"mantle/internal/netsim"
+	"mantle/internal/trace"
 	"mantle/internal/types"
 )
 
@@ -295,5 +299,111 @@ func TestParallelIntegratesWithInjector(t *testing.T) {
 	s := inj.Stats()
 	if s.Dropped == 0 || s.Delivered < 32 {
 		t.Fatalf("injector stats = %+v (seed %d)", s, inj.Seed())
+	}
+}
+
+func TestTracedOpRecordsSpansAndAccounting(t *testing.T) {
+	fabric := netsim.NewLocalFabric()
+	c := NewCaller(fabric)
+	node := netsim.NewNode("srv", 0)
+	tr, ctx := trace.New("op")
+	op := c.BeginTraced(ctx)
+	if err := op.Do(node, 0, CallOpts{Bytes: 100}, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Call(node, 0, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if tr.Trips() != 2 {
+		t.Fatalf("trace trips = %d, want 2", tr.Trips())
+	}
+	wantBytes := int64(100 + 2*MsgOverheadBytes)
+	if tr.Bytes() != wantBytes {
+		t.Fatalf("trace bytes = %d, want %d", tr.Bytes(), wantBytes)
+	}
+	if op.RTTs() != 2 || op.Bytes() != wantBytes {
+		t.Fatalf("op accounting = %d rtts / %d bytes", op.RTTs(), op.Bytes())
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 { // root + 2 rpc spans
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	for _, s := range spans[1:] {
+		if s.Name != "rpc" {
+			t.Fatalf("span name = %q", s.Name)
+		}
+		if len(s.Attrs) == 0 || s.Attrs[0].Key != "dst" || s.Attrs[0].Value != "srv" {
+			t.Fatalf("rpc span attrs = %v", s.Attrs)
+		}
+	}
+}
+
+func TestWithContextSharesCounters(t *testing.T) {
+	fabric := netsim.NewLocalFabric()
+	c := NewCaller(fabric)
+	node := netsim.NewNode("srv", 0)
+	tr, ctx := trace.New("op")
+	op := c.BeginTraced(ctx)
+
+	sub, sp := trace.Start(op.Context(), "txn-commit")
+	derived := op.WithContext(sub)
+	if err := derived.Call(node, 0, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	tr.Finish()
+
+	// The derived op's RPC counts on the original op's accounting...
+	if op.RTTs() != 1 || derived.RTTs() != 1 {
+		t.Fatalf("rtts = %d/%d, want 1/1", op.RTTs(), derived.RTTs())
+	}
+	// ...and its rpc span nests under the txn-commit child span.
+	spans := tr.Spans()
+	byName := map[string]trace.SpanInfo{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["rpc"].ParentID != byName["txn-commit"].ID {
+		t.Fatalf("rpc parent = %d, want txn-commit (%d)",
+			byName["rpc"].ParentID, byName["txn-commit"].ID)
+	}
+}
+
+func TestRegisterMetricsExposesCountersAndLatency(t *testing.T) {
+	fabric := netsim.NewLocalFabric()
+	inj := faults.New(7)
+	node := netsim.NewNode("srv", 0)
+	inj.Attach(fabric, node)
+	inj.DropEdge("", "srv", 0.5)
+	c := NewCaller(fabric)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 64, BaseBackoff: time.Microsecond})
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+	op := c.Begin()
+	for i := 0; i < 16; i++ {
+		if err := op.Call(node, 0, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	retries, _, drops := c.Stats()
+	if retries == 0 || drops == 0 {
+		t.Fatalf("expected retries under 50%% loss, got retries=%d drops=%d", retries, drops)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("rpc_retries %d", retries),
+		fmt.Sprintf("rpc_drops %d", drops),
+		"rpc_timeouts 0",
+		"latency_rpc_count 16",
+		"latency_rpc_p99_us ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -39,9 +39,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mantle/internal/metrics"
 	"mantle/internal/netsim"
 	"mantle/internal/rpc"
 	"mantle/internal/storage"
+	"mantle/internal/trace"
 	"mantle/internal/txn"
 	"mantle/internal/types"
 )
@@ -146,6 +148,7 @@ type DB struct {
 	txnSeq  atomic.Uint64
 	tsSeq   atomic.Uint64
 	retries atomic.Int64 // cumulative transaction retries (contention metric)
+	txnLat  metrics.Latency
 
 	// deltaDirs tracks directories with delta mode active and their
 	// conflict scores (for DeltaAuto activation).
@@ -397,17 +400,29 @@ func compactShardDeltas(s *storage.Shard) int {
 }
 
 // runTxn executes build as a retried transaction, recording contention
-// against contendedDir on each retry.
+// against contendedDir on each retry. The whole transaction — all
+// retries included — is one txn-commit span and one txnLat observation.
 func (db *DB) runTxn(op *rpc.Op, contendedDir types.InodeID, build func(attempt int) ([]txn.Piece, error)) (int, error) {
+	ctx, sp := trace.Start(op.Context(), "txn-commit")
+	op = op.WithContext(ctx)
+	start := time.Now()
 	wrapped := func(attempt int) ([]txn.Piece, error) {
 		if attempt > 0 {
 			db.noteConflict(contendedDir)
+			sp.Annotate("retry", "%d", attempt)
 		}
 		return build(attempt)
 	}
-	return txn.RunWithRetry(op, db.newTxnID(), db.cfg.MaxRetries,
+	retries, err := txn.RunWithRetry(op, db.newTxnID(), db.cfg.MaxRetries,
 		db.cfg.RetryBase, db.cfg.RetryMax, wrapped)
+	db.txnLat.Observe(time.Since(start))
+	sp.End()
+	return retries, err
 }
+
+// TxnLatency returns the DB-wide transaction-commit latency histogram
+// (whole transactions, retries included).
+func (db *DB) TxnLatency() *metrics.Latency { return &db.txnLat }
 
 // CrashShard crash-stops shard i (failure injection): its in-memory
 // state is discarded; only WAL-logged commits survive.

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Tree renders the span tree as an indented human-readable listing:
+//
+//	create /a/b/o                   5.1ms  trips=4 bytes=288
+//	├─ path-resolve                 2.2ms  [cache=hit]
+//	│  └─ rpc                       2.1ms  [dst=indexnode-0]
+//	└─ txn-commit                   2.8ms
+//	   └─ rpc                       2.7ms  [dst=tafdb-3]
+func (t *Trace) Tree() string {
+	var b strings.Builder
+	t.WriteTree(&b)
+	return b.String()
+}
+
+// WriteTree renders the span tree to w.
+func (t *Trace) WriteTree(w io.Writer) {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	children := map[int64][]SpanInfo{}
+	for _, s := range spans {
+		children[s.ParentID] = append(children[s.ParentID], s)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Start != kids[j].Start {
+				return kids[i].Start < kids[j].Start
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+	root := spans[0]
+	fmt.Fprintf(w, "%s  %v  trips=%d bytes=%d\n",
+		root.Name, root.Duration.Round(time.Microsecond), t.Trips(), t.Bytes())
+	var walk func(parent int64, prefix string)
+	walk = func(parent int64, prefix string) {
+		kids := children[parent]
+		for i, s := range kids {
+			branch, cont := "├─ ", "│  "
+			if i == len(kids)-1 {
+				branch, cont = "└─ ", "   "
+			}
+			fmt.Fprintf(w, "%s%s%s  +%v %v%s\n", prefix, branch, s.Name,
+				s.Start.Round(time.Microsecond), s.Duration.Round(time.Microsecond),
+				renderAttrs(s.Attrs))
+			walk(s.ID, prefix+cont)
+		}
+	}
+	walk(root.ID, "")
+}
+
+func renderAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.Key + "=" + a.Value
+	}
+	return "  [" + strings.Join(parts, " ") + "]"
+}
+
+// chromeEvent is one Chrome trace_event record ("X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds from epoch
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeJSON exports the trace as a Chrome trace_event JSON array
+// (loadable in chrome://tracing and Perfetto). Every span becomes one
+// "X" (complete) event; trip/byte totals ride on the root span's args.
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for i, s := range spans {
+		args := make(map[string]string, len(s.Attrs)+2)
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		if i == 0 {
+			args["trips"] = fmt.Sprintf("%d", t.Trips())
+			args["bytes"] = fmt.Sprintf("%d", t.Bytes())
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Microseconds()),
+			Dur:  float64(s.Duration.Microseconds()),
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	return json.MarshalIndent(events, "", " ")
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanParentChildOrdering(t *testing.T) {
+	tr, ctx := New("op")
+	rctx, resolve := Start(ctx, "path-resolve")
+	_, rpc1 := Start(rctx, "rpc")
+	time.Sleep(time.Millisecond)
+	rpc1.End()
+	resolve.End()
+	_, exec := Start(ctx, "txn-commit")
+	exec.End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root := byName["op"]
+	if root.ParentID != 0 {
+		t.Fatalf("root parent = %d", root.ParentID)
+	}
+	if got := byName["path-resolve"].ParentID; got != root.ID {
+		t.Fatalf("path-resolve parent = %d, want %d", got, root.ID)
+	}
+	if got := byName["rpc"].ParentID; got != byName["path-resolve"].ID {
+		t.Fatalf("rpc parent = %d, want %d (path-resolve)", got, byName["path-resolve"].ID)
+	}
+	if got := byName["txn-commit"].ParentID; got != root.ID {
+		t.Fatalf("txn-commit parent = %d, want %d", got, root.ID)
+	}
+	// Start order is recorded order; children start at or after parents.
+	for _, s := range spans {
+		if s.ParentID == 0 {
+			continue
+		}
+		var parent SpanInfo
+		for _, p := range spans {
+			if p.ID == s.ParentID {
+				parent = p
+			}
+		}
+		if s.Start < parent.Start {
+			t.Fatalf("span %s starts (%v) before its parent %s (%v)",
+				s.Name, s.Start, parent.Name, parent.Start)
+		}
+	}
+	// A child ends no later than snapshot; the rpc span's duration must
+	// fit inside path-resolve's.
+	if byName["rpc"].Duration > byName["path-resolve"].Duration {
+		t.Fatalf("rpc (%v) outlives path-resolve (%v)",
+			byName["rpc"].Duration, byName["path-resolve"].Duration)
+	}
+}
+
+func TestTraceNoopWithoutContext(t *testing.T) {
+	ctx := context.Background()
+	c2, s := Start(ctx, "orphan")
+	if s != nil {
+		t.Fatal("span created without a trace")
+	}
+	if c2 != ctx {
+		t.Fatal("context changed without a trace")
+	}
+	// All nil-span methods are safe.
+	s.SetAttr("k", "v")
+	s.Annotate("k", "%d", 1)
+	s.End()
+	if s.Name() != "" || s.Duration() != 0 || s.Trace() != nil {
+		t.Fatal("nil span leaked state")
+	}
+	AddTrips(ctx, 3)
+	AddBytes(ctx, 100)
+}
+
+func TestTraceTripAndByteAccounting(t *testing.T) {
+	tr, ctx := New("op")
+	AddTrips(ctx, 1)
+	sub, sp := Start(ctx, "rpc")
+	AddTrips(sub, 2)
+	AddBytes(sub, 128)
+	sp.End()
+	tr.Finish()
+	if tr.Trips() != 3 {
+		t.Fatalf("trips = %d, want 3", tr.Trips())
+	}
+	if tr.Bytes() != 128 {
+		t.Fatalf("bytes = %d, want 128", tr.Bytes())
+	}
+}
+
+func TestTraceConcurrentSiblings(t *testing.T) {
+	tr, ctx := New("op")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, s := Start(ctx, "rpc")
+			AddTrips(sub, 1)
+			s.SetAttr("k", "v")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.Spans()); got != 17 {
+		t.Fatalf("spans = %d, want 17", got)
+	}
+	if tr.Trips() != 16 {
+		t.Fatalf("trips = %d, want 16", tr.Trips())
+	}
+}
+
+func TestTraceChromeJSONLoads(t *testing.T) {
+	tr, ctx := New("create /a/b/o")
+	sub, resolve := Start(ctx, "path-resolve")
+	_, rpc := Start(sub, "rpc")
+	rpc.SetAttr("dst", "indexnode-0")
+	rpc.End()
+	resolve.End()
+	AddTrips(ctx, 2)
+	tr.Finish()
+
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A valid trace_event dump is a JSON array of events with the
+	// required phase/timestamp fields.
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome JSON does not parse: %v\n%s", err, data)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Fatalf("event phase = %v", e["ph"])
+		}
+		for _, k := range []string{"name", "ts", "dur", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, e)
+			}
+		}
+	}
+	if events[0]["args"].(map[string]any)["trips"] != "2" {
+		t.Fatalf("root args = %v", events[0]["args"])
+	}
+}
+
+func TestTraceTreeRendering(t *testing.T) {
+	tr, ctx := New("mkdir /x")
+	sub, resolve := Start(ctx, "path-resolve")
+	_, rpc := Start(sub, "rpc")
+	rpc.End()
+	resolve.End()
+	_, prop := Start(ctx, "raft-propose")
+	prop.End()
+	tr.Finish()
+
+	out := tr.Tree()
+	for _, want := range []string{"mkdir /x", "path-resolve", "rpc", "raft-propose", "trips="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// path-resolve precedes raft-propose (start order), and rpc is
+	// indented beneath path-resolve.
+	if strings.Index(out, "path-resolve") > strings.Index(out, "raft-propose") {
+		t.Fatalf("sibling order wrong:\n%s", out)
+	}
+}
