@@ -1,9 +1,18 @@
 # Mantle build & test entry points. CI (.github/workflows/ci.yml) runs
-# fmt + vet + test-race; `make chaos` is the long lane it runs on push.
+# fmt + vet + test-race; `make chaos` is the long lane it runs on push,
+# and `make bench`/`make bench-json` drive the perf-smoke lane and the
+# committed BENCH_PR<n>.json snapshots (see README).
 
 GO ?= go
 
-.PHONY: all build test test-race fmt vet chaos clean
+# Benchmark knobs. BENCH selects which benchmarks run (regexp);
+# BENCHTIME trades runtime for stability; CPUS exercises the parallel
+# benchmarks at several GOMAXPROCS values.
+BENCH     ?= .
+BENCHTIME ?= 400ms
+CPUS      ?= 1,4
+
+.PHONY: all build test test-race fmt vet chaos bench bench-json clean
 
 all: build
 
@@ -32,5 +41,21 @@ vet:
 chaos:
 	$(GO) test -count=1 -timeout 20m ./...
 
+# Hot-path micro-benchmarks (root package bench_parallel_test.go plus
+# the serial Mantle* set), with allocation accounting.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -cpu $(CPUS) .
+
+# Same run, parsed into a machine-readable snapshot (bench.json). The
+# committed perf trajectory (BENCH_PR<n>.json) is built from these
+# snapshots: run once on the base commit, once on the candidate, and
+# merge with `go run ./cmd/benchjson before=<old> after=<new>`.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -cpu $(CPUS) . | tee bench.out.txt
+	$(GO) run ./cmd/benchjson run=bench.out.txt > bench.json
+	@rm -f bench.out.txt
+	@echo "wrote bench.json"
+
 clean:
 	$(GO) clean ./...
+	rm -f bench.json bench.out.txt

@@ -1,0 +1,256 @@
+// Hot-path concurrency benchmarks: the paper's production data (Table 3,
+// §7.2) shows load concentrating on a few hot directories, so these
+// benchmarks drive many proxy goroutines at a single hot directory (plus
+// a uniform control) and measure how the read/lookup path scales with
+// GOMAXPROCS. They are the workload behind the repo's recorded perf
+// trajectory (BENCH_*.json, see README "Benchmarking & perf trajectory"):
+//
+//	make bench        # human-readable run
+//	make bench-json   # machine-readable snapshot (BENCH_PR<n>.json)
+//
+// Each benchmark also reports coalesced/op — how many lookups per
+// operation were absorbed by singleflight instead of walking the
+// IndexTable or issuing an IndexNode RPC (0 before the coalescing layer
+// existed; the counters are read from the metrics registry by name, so
+// the file runs unmodified against older code).
+package mantle_test
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mantle"
+)
+
+const (
+	hotDir     = "/hot/a/b/c/d" // depth 5: k=3 leaves a 3-level suffix walk
+	hotObjects = 16
+	uniDirs    = 64
+	uniObjects = 4
+)
+
+// benchClusterOpts builds a deployment, a hot directory with hotObjects
+// objects, and a uniform spread of uniDirs directories.
+func benchClusterOpts(b *testing.B, cfg mantle.Config) (*mantle.Cluster, *mantle.Client) {
+	b.Helper()
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	cl, err := mantle.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Stop)
+	c := cl.Client()
+	if err := c.MkdirAll(hotDir); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < hotObjects; i++ {
+		if _, err := c.Create(fmt.Sprintf("%s/o%d", hotDir, i), 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for d := 0; d < uniDirs; d++ {
+		dir := fmt.Sprintf("/u/d%02d", d)
+		if err := c.MkdirAll(dir); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < uniObjects; i++ {
+			if _, err := c.Create(fmt.Sprintf("%s/o%d", dir, i), 1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return cl, c
+}
+
+// coalescedCount reads the lookup-coalescing counters from the metrics
+// exposition text, so the benchmark compiles and runs against code
+// predating the counters (absent lines read as 0).
+func coalescedCount(cl *mantle.Cluster) int64 {
+	var sb strings.Builder
+	_ = cl.Core().Metrics().Write(&sb)
+	var total int64
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "lookup_coalesced_rpc", "indexnode_lookup_coalesced":
+			if v, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+func reportCoalesced(b *testing.B, cl *mantle.Cluster, before int64) {
+	b.ReportMetric(float64(coalescedCount(cl)-before)/float64(b.N), "coalesced/op")
+}
+
+// BenchmarkHotStatParallel is the headline skewed workload: every
+// goroutine stats objects inside one hot directory (identical lookup
+// every time — the Table 3 hot-namespace shape).
+func BenchmarkHotStatParallel(b *testing.B) {
+	cl, _ := benchClusterOpts(b, mantle.Config{})
+	c0 := coalescedCount(cl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := cl.Client()
+		i := 0
+		for pb.Next() {
+			if _, err := c.Stat(fmt.Sprintf("%s/o%d", hotDir, i%hotObjects)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	reportCoalesced(b, cl, c0)
+}
+
+// BenchmarkHotStatParallelProxyCache is the same skewed workload with the
+// Figure 20 proxy-side cache enabled (striped + singleflight-coalesced).
+func BenchmarkHotStatParallelProxyCache(b *testing.B) {
+	cl, _ := benchClusterOpts(b, mantle.Config{ProxyCache: true})
+	c0 := coalescedCount(cl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := cl.Client()
+		i := 0
+		for pb.Next() {
+			if _, err := c.Stat(fmt.Sprintf("%s/o%d", hotDir, i%hotObjects)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	reportCoalesced(b, cl, c0)
+}
+
+// BenchmarkHotLookupParallel resolves one hot directory path from every
+// goroutine — the pure single-RPC lookup under maximum skew.
+func BenchmarkHotLookupParallel(b *testing.B) {
+	cl, _ := benchClusterOpts(b, mantle.Config{})
+	c0 := coalescedCount(cl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := cl.Client()
+		for pb.Next() {
+			if _, err := c.Lookup(hotDir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	reportCoalesced(b, cl, c0)
+}
+
+// BenchmarkHotMixedParallel mixes hot-directory reads with object-create
+// churn on the same directory (1 write per 64 reads): the read path must
+// stay fast while 2PC prepare/commit write-locks the shard rows.
+func BenchmarkHotMixedParallel(b *testing.B) {
+	cl, _ := benchClusterOpts(b, mantle.Config{})
+	c0 := coalescedCount(cl)
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := cl.Client()
+		i := 0
+		for pb.Next() {
+			if i%64 == 63 {
+				if _, err := c.Create(fmt.Sprintf("%s/churn-%d", hotDir, seq.Add(1)), 1); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := c.Stat(fmt.Sprintf("%s/o%d", hotDir, i%hotObjects)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	reportCoalesced(b, cl, c0)
+}
+
+// BenchmarkHotLookupInvalidationStorm exercises the coalescing layer
+// under its design condition: a writer continuously renames the hot
+// directory back and forth, so parallel readers keep missing the proxy
+// cache and the singleflight layer must absorb the resulting identical
+// RPCs. The number of interest is coalesced/op — steady-state cache-hit
+// benchmarks legitimately report 0 there, because flights only form on
+// misses. ns/op is dominated by the configured RTT.
+func BenchmarkHotLookupInvalidationStorm(b *testing.B) {
+	cl, c := benchClusterOpts(b, mantle.Config{ProxyCache: true, RTT: 200 * time.Microsecond})
+	c0 := coalescedCount(cl)
+	stop := make(chan struct{})
+	var stopped sync.WaitGroup
+	stopped.Add(1)
+	go func() {
+		defer stopped.Done()
+		src, dst := hotDir, hotDir+"x"
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := c.Rename(src, dst); err == nil {
+				src, dst = dst, src
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cc := cl.Client()
+		for pb.Next() {
+			// The hot path is absent roughly half the time (mid-bounce);
+			// negative lookups exercise the same miss/coalesce machinery.
+			if _, err := cc.Lookup(hotDir); err != nil && !errors.Is(err, mantle.ErrNotFound) {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	stopped.Wait()
+	reportCoalesced(b, cl, c0)
+}
+
+// BenchmarkUniformStatParallel is the control: the same operation mix
+// spread uniformly over uniDirs directories, so no single cache stripe,
+// shard, or singleflight key concentrates the load.
+func BenchmarkUniformStatParallel(b *testing.B) {
+	cl, _ := benchClusterOpts(b, mantle.Config{})
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := cl.Client()
+		i := int(worker.Add(1)) * 7 // offset goroutines off each other
+		for pb.Next() {
+			d, o := i%uniDirs, (i/uniDirs)%uniObjects
+			if _, err := c.Stat(fmt.Sprintf("/u/d%02d/o%d", d, o)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

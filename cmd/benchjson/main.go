@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON snapshot, the format behind the repo's committed
+// perf trajectory (BENCH_PR<n>.json; see README "Benchmarking & perf
+// trajectory" and `make bench-json`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench Parallel -benchmem . | benchjson
+//	benchjson before=old.txt after=new.txt > BENCH_PR4.json
+//
+// Each argument is a label=file pair; with no arguments, stdin is parsed
+// under the label "run". Every benchmark line becomes an entry carrying
+// the benchmark name, GOMAXPROCS suffix, iteration count, and every
+// reported metric pair (ns/op, B/op, allocs/op, custom ReportMetric
+// units such as coalesced/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the JSON document: one run (list of benchmarks) per label.
+type Output struct {
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Runs      map[string][]Bench `json:"runs"`
+}
+
+// parseBenchLine parses "BenchmarkX-4  100  123 ns/op  16 allocs/op".
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	b := Bench{Name: strings.TrimPrefix(fields[0], "Benchmark"), Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndexByte(b.Name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func parse(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if b, ok := parseBenchLine(sc.Text()); ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	out := Output{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Runs:      map[string][]Bench{},
+	}
+	if len(os.Args) < 2 {
+		benches, err := parse(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		out.Runs["run"] = benches
+	}
+	for _, arg := range os.Args[1:] {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=file\n", arg)
+			os.Exit(2)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		benches, err := parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		out.Runs[label] = benches
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

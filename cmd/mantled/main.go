@@ -32,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -54,6 +55,7 @@ func main() {
 		follower = flag.Bool("follower-read", true, "serve lookups from followers")
 		rtt      = flag.Duration("rtt", 0, "simulated per-RPC round trip")
 		rpcAddr  = flag.String("rpc-addr", "", "optional binary-protocol listen address (mantle.Dial clients)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -81,6 +83,17 @@ func main() {
 		}
 	})
 	mux.HandleFunc("/trace", s.traceOp)
+	if *pprofOn {
+		// Profiling is opt-in: the pprof handlers expose stack and heap
+		// internals, so they stay off unless explicitly requested (see
+		// README "Profiling the hot path").
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("mantled: pprof enabled on %s/debug/pprof/", *addr)
+	}
 	mux.HandleFunc("/fsck", func(w http.ResponseWriter, r *http.Request) {
 		rep := fsck.Check(cl.Core())
 		w.Header().Set("Content-Type", "application/json")

@@ -1,7 +1,6 @@
 package indexnode
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -40,30 +39,27 @@ type Cmd struct {
 }
 
 // Encode serialises the command with a compact length-prefixed binary
-// layout.
+// layout. The output length is computed exactly up front, so encoding
+// performs a single allocation with no buffer growth (commands are
+// encoded once per proposal and once per retry attempt on the write hot
+// path).
 func (c Cmd) Encode() []byte {
-	var buf bytes.Buffer
-	buf.WriteByte(byte(c.Kind))
-	var tmp [8]byte
-	writeU64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(tmp[:], v)
-		buf.Write(tmp[:])
+	size := 1 + 3*8 + 2 + 4*4 + len(c.Name) + len(c.DstName) + len(c.Path) + len(c.LockID)
+	out := make([]byte, 0, size)
+	out = append(out, byte(c.Kind))
+	out = binary.LittleEndian.AppendUint64(out, uint64(c.Pid))
+	out = binary.LittleEndian.AppendUint64(out, uint64(c.ID))
+	out = binary.LittleEndian.AppendUint64(out, uint64(c.DstPid))
+	out = binary.LittleEndian.AppendUint16(out, uint16(c.Perm))
+	appendStr := func(s string) {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
 	}
-	writeStr := func(s string) {
-		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(s)))
-		buf.Write(tmp[:4])
-		buf.WriteString(s)
-	}
-	writeU64(uint64(c.Pid))
-	writeU64(uint64(c.ID))
-	writeU64(uint64(c.DstPid))
-	binary.LittleEndian.PutUint16(tmp[:2], uint16(c.Perm))
-	buf.Write(tmp[:2])
-	writeStr(c.Name)
-	writeStr(c.DstName)
-	writeStr(c.Path)
-	writeStr(c.LockID)
-	return buf.Bytes()
+	appendStr(c.Name)
+	appendStr(c.DstName)
+	appendStr(c.Path)
+	appendStr(c.LockID)
+	return out
 }
 
 // DecodeCmd parses an encoded command.

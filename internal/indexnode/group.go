@@ -235,20 +235,25 @@ func (g *Group) lookupCost(levels int) time.Duration {
 	return g.cfg.LookupBaseCost + time.Duration(levels)*g.cfg.LookupLevelCost
 }
 
-// readTargets returns the replica indices eligible to serve lookups.
-func (g *Group) readTargets() []int {
-	li := g.leaderIndex()
+// chargeFor computes the CPU charge for a completed resolution: a
+// coalesced result shared another lookup's walk, so it carries the base
+// RPC handling cost but no per-level component (the levels were charged
+// once, to the leader of the flight).
+func (g *Group) chargeFor(res LookupResult) time.Duration {
+	if res.Coalesced {
+		return g.cfg.LookupBaseCost
+	}
+	return g.lookupCost(res.Levels)
+}
+
+// pickReadTarget returns the replica index to serve the next lookup
+// (round-robin over all replicas under FollowerRead, else the leader),
+// or -1 when no replica is eligible.
+func (g *Group) pickReadTarget() int {
 	if !g.cfg.FollowerRead {
-		if li < 0 {
-			return nil
-		}
-		return []int{li}
+		return g.leaderIndex()
 	}
-	out := make([]int, len(g.replicas))
-	for i := range out {
-		out[i] = i
-	}
-	return out
+	return int(g.rr.Add(1) % uint64(len(g.replicas)))
 }
 
 // Lookup resolves an absolute directory path in a single proxy RPC
@@ -267,13 +272,12 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 	opts := g.callOpts()
 	deadline := time.Now().Add(g.cfg.RetryWindow)
 	for attempt := 0; attempt == 0 || time.Now().Before(deadline); attempt++ {
-		targets := g.readTargets()
-		if len(targets) == 0 {
+		idx := g.pickReadTarget()
+		if idx < 0 {
 			time.Sleep(5 * time.Millisecond)
 			lastErr = types.ErrNotLeader
 			continue
 		}
-		idx := targets[int(g.rr.Add(1))%len(targets)]
 		rep, rf, node := g.replicas[idx], g.rafts[idx], g.nodes[idx]
 		if rf.Stopped() {
 			lastErr = types.ErrStopped
@@ -284,7 +288,7 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 			serve := func() error {
 				var lerr error
 				res, lerr = rep.Lookup(path)
-				node.Charge(g.lookupCost(res.Levels))
+				node.Charge(g.chargeFor(res))
 				return lerr
 			}
 			// ConsistentRead on the leader is local (its own commit
@@ -296,7 +300,7 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 				// Graceful degradation: serve from local state, stale at
 				// worst by the unreplicated suffix of the log.
 				if sres, serr := rep.Lookup(path); serr == nil {
-					node.Charge(g.lookupCost(sres.Levels))
+					node.Charge(g.chargeFor(sres))
 					g.fallbacks.Add(1)
 					res, err = sres, nil
 				}
@@ -485,6 +489,16 @@ func (g *Group) CacheStats() (entries int, bytes int64, hits, misses int64) {
 		misses += m
 	}
 	return
+}
+
+// CoalescedWalks aggregates, across replicas, how many lookups shared
+// another lookup's in-flight IndexTable walk (singleflight joiners).
+func (g *Group) CoalescedWalks() int64 {
+	var n int64
+	for _, rep := range g.replicas {
+		n += rep.CoalescedLookups()
+	}
+	return n
 }
 
 // Rafts exposes the group's raft replicas (stats and failure injection in

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"mantle/internal/pathutil"
+	"mantle/internal/singleflight"
 	"mantle/internal/types"
 )
 
@@ -30,6 +31,23 @@ type Replica struct {
 	// Rename locks: directory ID → owning request UUID.
 	lockMu sync.Mutex
 	locks  map[types.InodeID]string
+
+	// applySeq counts applied state mutations; it is bumped *after* each
+	// mutation lands so a lookup that begins after the bump keys its
+	// singleflight on the new sequence and can never join (or share the
+	// result of) a walk that predates the mutation.
+	applySeq atomic.Uint64
+	// flight coalesces concurrent identical lookups into one IndexTable
+	// walk; joiners surface with LookupResult.Coalesced set so the group
+	// charges them base RPC cost only.
+	flight singleflight.Group[lookupFlight, LookupResult]
+}
+
+// lookupFlight keys a coalesced walk: same path AND same applied-state
+// sequence. Serial lookups never overlap, so they never coalesce.
+type lookupFlight struct {
+	path string
+	seq  uint64
 }
 
 // NewReplica builds an empty replica with truncation distance k.
@@ -68,6 +86,9 @@ func (r *Replica) Apply(_ uint64, cmd []byte) {
 		// A corrupt replicated command is unrecoverable state divergence.
 		panic(fmt.Sprintf("indexnode: apply: %v", err))
 	}
+	// Bump after the mutation is visible (defer): lookups starting later
+	// key their coalescing flights on the new sequence.
+	defer r.applySeq.Add(1)
 	switch c.Kind {
 	case CmdAddDir:
 		// A new directory cannot invalidate any cached prefix (prefixes
@@ -102,6 +123,7 @@ func (r *Replica) BulkAdd(entries []types.AccessEntry) {
 	for _, e := range entries {
 		r.table.Load().Put(e)
 	}
+	r.applySeq.Add(1)
 }
 
 // LookupResult is the outcome of a local path resolution.
@@ -111,18 +133,55 @@ type LookupResult struct {
 	Perm     types.Perm    // aggregated (intersected) path permission
 	Levels   int           // IndexTable levels walked (CPU-cost driver)
 	Hit      bool          // TopDirPathCache hit
+	// Coalesced marks a result shared from another lookup's in-flight
+	// walk: the serving replica did the walk once, so the group charges
+	// this caller the base RPC cost without the per-level component.
+	Coalesced bool
 }
 
 // Lookup resolves an absolute directory path against local state,
-// following the Figure 7 workflow:
+// following the Figure 7 workflow (see resolve). Concurrent lookups of
+// the same path against the same applied state coalesce into one walk;
+// a lookup that begins after any applied mutation keys a fresh flight
+// and therefore always observes that mutation.
+//
+// A TopDirPathCache hit bypasses the flight entirely: the remaining
+// suffix is at most k cheap IndexTable gets, not worth the flight's
+// per-call allocation and registry churn. Only the full walk — the
+// expensive case a miss storm multiplies — coalesces.
+func (r *Replica) Lookup(path string) (LookupResult, error) {
+	path = pathutil.Clean(path)
+	if r.cacheEnabled && !r.inv.Blocked(path) {
+		if prefix, suffix := pathutil.TruncateRel(path, r.k); prefix != "/" {
+			if e, ok := r.cache.Get(prefix); ok {
+				res := LookupResult{Hit: true}
+				err := r.walk(path, suffix, e.ID, e.Perm, &res)
+				return res, err
+			}
+		}
+	}
+	res, err, shared := r.flight.Do(lookupFlight{path, r.applySeq.Load()}, func() (LookupResult, error) {
+		return r.resolve(path)
+	})
+	if shared {
+		res.Coalesced = true
+	}
+	return res, err
+}
+
+// CoalescedLookups returns how many lookups shared another lookup's
+// walk instead of walking the IndexTable themselves.
+func (r *Replica) CoalescedLookups() int64 { return r.flight.Coalesced() }
+
+// resolve performs the actual Figure 7 local resolution on a cleaned
+// path:
 //
 //  1. scan RemovalList; under an in-flight modification, bypass the cache,
 //  2. otherwise consult TopDirPathCache with the k-truncated prefix,
 //  3. resolve the remaining levels through IndexTable,
 //  4. cache the truncated prefix if it was a miss and no modification
 //     raced this lookup (epoch check).
-func (r *Replica) Lookup(path string) (LookupResult, error) {
-	path = pathutil.Clean(path)
+func (r *Replica) resolve(path string) (LookupResult, error) {
 	var res LookupResult
 
 	epoch0 := r.inv.Epoch()
@@ -130,42 +189,25 @@ func (r *Replica) Lookup(path string) (LookupResult, error) {
 
 	startID := types.RootID
 	startPerm := types.PermAll
-	comps := pathutil.Split(path)
+	rest := pathutil.Rel(path)
 	cachePrefix := ""
 
 	if r.cacheEnabled && !blocked {
-		prefix, suffix := pathutil.TruncatePrefix(path, r.k)
+		prefix, suffix := pathutil.TruncateRel(path, r.k)
 		if prefix != "/" {
 			if e, ok := r.cache.Get(prefix); ok {
 				res.Hit = true
 				startID, startPerm = e.ID, e.Perm
-				comps = suffix
+				rest = suffix
 			} else {
 				cachePrefix = prefix
 			}
 		}
 	}
 
-	id, perm := startID, startPerm
-	parent := types.RootID
-	for i, name := range comps {
-		e, ok := r.table.Load().Get(id, name)
-		if !ok {
-			return res, fmt.Errorf("lookup %s at %q: %w", path, name, types.ErrNotFound)
-		}
-		res.Levels++
-		parent = id
-		id = e.ID
-		perm = perm.Intersect(e.Perm)
-		// Traversal permission applies to directories entered on the way
-		// to the target; the final component is the target itself, and
-		// its aggregated permission is returned for the caller to check
-		// against the operation's needs.
-		if i < len(comps)-1 && !perm.Allows(types.PermLookup) {
-			return res, fmt.Errorf("lookup %s at %q: %w", path, name, types.ErrPermission)
-		}
+	if err := r.walk(path, rest, startID, startPerm, &res); err != nil {
+		return res, err
 	}
-	res.ID, res.ParentID, res.Perm = id, parent, perm
 
 	// Condition (a): prefix not cached; condition (b): no modification
 	// raced this lookup (timestamp check). Resolve the prefix's own
@@ -188,12 +230,48 @@ func (r *Replica) Lookup(path string) (LookupResult, error) {
 	return res, nil
 }
 
+// walk resolves rest (a relative component sequence, possibly empty)
+// starting at (startID, startPerm), accumulating levels walked and the
+// final (ID, ParentID, Perm) into res. It iterates components in place
+// (pathutil.NextComponent) — the hottest loop in the service — and
+// allocates nothing.
+func (r *Replica) walk(path, rest string, startID types.InodeID, startPerm types.Perm, res *LookupResult) error {
+	id, perm := startID, startPerm
+	parent := types.RootID
+	table := r.table.Load()
+	for rest != "" {
+		name, remainder := pathutil.NextComponent(rest)
+		e, ok := table.Get(id, name)
+		if !ok {
+			return fmt.Errorf("lookup %s at %q: %w", path, name, types.ErrNotFound)
+		}
+		res.Levels++
+		parent = id
+		id = e.ID
+		perm = perm.Intersect(e.Perm)
+		// Traversal permission applies to directories entered on the way
+		// to the target; the final component is the target itself, and
+		// its aggregated permission is returned for the caller to check
+		// against the operation's needs.
+		if remainder != "" && !perm.Allows(types.PermLookup) {
+			return fmt.Errorf("lookup %s at %q: %w", path, name, types.ErrPermission)
+		}
+		rest = remainder
+	}
+	res.ID, res.ParentID, res.Perm = id, parent, perm
+	return nil
+}
+
 // resolvePrefix walks prefix from the root through IndexTable.
 func (r *Replica) resolvePrefix(prefix string) (types.InodeID, types.Perm, bool) {
 	id := types.RootID
 	perm := types.PermAll
-	for _, name := range pathutil.Split(prefix) {
-		e, ok := r.table.Load().Get(id, name)
+	table := r.table.Load()
+	rest := pathutil.Rel(prefix)
+	for rest != "" {
+		var name string
+		name, rest = pathutil.NextComponent(rest)
+		e, ok := table.Get(id, name)
 		if !ok {
 			return 0, 0, false
 		}
@@ -410,6 +488,7 @@ func (r *Replica) Restore(data []byte) {
 	}
 	// Swap in the rebuilt table, then invalidate every cached resolution.
 	r.table.Store(table)
+	r.applySeq.Add(1)
 	r.inv.BumpEpoch()
 	for _, p := range r.inv.prefix.RemoveSubtree("/") {
 		r.cache.Delete(p)

@@ -75,9 +75,10 @@ type Fabric struct {
 	rpcs   atomic.Int64
 	faults atomic.Pointer[FaultHook]
 
-	// edges is the per-edge delivery registry (see stats.go), keyed
-	// "src->dst" → *EdgeStats.
-	edges sync.Map
+	// edges is the per-edge delivery registry (see stats.go), keyed by
+	// the (src, dst) pair → *EdgeStats.
+	edgeMu sync.RWMutex
+	edges  map[edgePair]*EdgeStats
 }
 
 // NewFabric builds a fabric from cfg.

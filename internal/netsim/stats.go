@@ -19,35 +19,57 @@ type EdgeStats struct {
 	Latency metrics.Latency
 }
 
-// edgeKey renders the registry key for a (src, dst) pair; unnamed
-// callers (client-originated RPCs) show as "client".
-func edgeKey(src, dst string) string {
+// edgePair is the registry key for a (src, dst) pair — a struct, not a
+// rendered string, so the per-delivery Edge lookup on the hot path does
+// no concatenation. Unnamed callers (client-originated RPCs) normalise
+// to "client".
+type edgePair struct {
+	src, dst string
+}
+
+func normEdge(src, dst string) edgePair {
 	if src == "" {
 		src = "client"
 	}
 	if dst == "" {
 		dst = "client"
 	}
-	return src + "->" + dst
+	return edgePair{src, dst}
 }
 
 // Edge returns (creating if needed) the stats of the (src, dst) edge.
+// The hit path — every delivery after an edge's first — is a shared
+// lock and one map probe.
 func (f *Fabric) Edge(src, dst string) *EdgeStats {
-	key := edgeKey(src, dst)
-	if e, ok := f.edges.Load(key); ok {
-		return e.(*EdgeStats)
+	k := normEdge(src, dst)
+	f.edgeMu.RLock()
+	e, ok := f.edges[k]
+	f.edgeMu.RUnlock()
+	if ok {
+		return e
 	}
-	e, _ := f.edges.LoadOrStore(key, &EdgeStats{})
-	return e.(*EdgeStats)
+	f.edgeMu.Lock()
+	defer f.edgeMu.Unlock()
+	if e, ok = f.edges[k]; ok {
+		return e
+	}
+	if f.edges == nil {
+		f.edges = make(map[edgePair]*EdgeStats)
+	}
+	e = &EdgeStats{}
+	f.edges[k] = e
+	return e
 }
 
-// Edges snapshots the per-edge registry, keyed "src->dst".
+// Edges snapshots the per-edge registry, keyed "src->dst" (the string
+// rendering happens only here, off the delivery path).
 func (f *Fabric) Edges() map[string]*EdgeStats {
-	out := map[string]*EdgeStats{}
-	f.edges.Range(func(k, v any) bool {
-		out[k.(string)] = v.(*EdgeStats)
-		return true
-	})
+	f.edgeMu.RLock()
+	defer f.edgeMu.RUnlock()
+	out := make(map[string]*EdgeStats, len(f.edges))
+	for k, e := range f.edges {
+		out[k.src+"->"+k.dst] = e
+	}
 	return out
 }
 
@@ -56,8 +78,7 @@ func (f *Fabric) Edges() map[string]*EdgeStats {
 // name: edge_<src->dst>_{trips,losses,p50_us,p99_us,max_us}.
 func (f *Fabric) WriteMetrics(w io.Writer) error {
 	lines := []string{fmt.Sprintf("fabric_rpcs %d", f.RPCs())}
-	f.edges.Range(func(k, v any) bool {
-		key, e := k.(string), v.(*EdgeStats)
+	for key, e := range f.Edges() {
 		lines = append(lines,
 			fmt.Sprintf("edge_%s_trips %d", key, e.Trips.Load()),
 			fmt.Sprintf("edge_%s_losses %d", key, e.Losses.Load()),
@@ -65,8 +86,7 @@ func (f *Fabric) WriteMetrics(w io.Writer) error {
 			fmt.Sprintf("edge_%s_p99_us %d", key, e.Latency.Quantile(0.99).Microseconds()),
 			fmt.Sprintf("edge_%s_max_us %d", key, e.Latency.Max().Microseconds()),
 		)
-		return true
-	})
+	}
 	sort.Strings(lines)
 	for _, line := range lines {
 		if _, err := fmt.Fprintln(w, line); err != nil {

@@ -75,6 +75,43 @@ func Split(p string) []string {
 	return strings.Split(p[1:], "/")
 }
 
+// Rel returns the cleaned path's components as one relative string
+// ("/a/b/c" → "a/b/c", "/" → ""), the zero-allocation counterpart of
+// Split for use with NextComponent.
+func Rel(p string) string {
+	p = Clean(p)
+	if p == "/" {
+		return ""
+	}
+	return p[1:]
+}
+
+// NextComponent splits a relative component string (as produced by Rel
+// or TruncateRel) into its first component and the remainder, without
+// allocating: "a/b/c" → ("a", "b/c"); "c" → ("c", ""). The empty string
+// yields ("", "").
+func NextComponent(rest string) (name, remainder string) {
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i], rest[i+1:]
+	}
+	return rest, ""
+}
+
+// Components calls fn for every component of the cleaned path in order,
+// with last marking the final component, and stops early if fn returns
+// false. It does not allocate for canonical inputs — this is the lookup
+// hot path's replacement for Split.
+func Components(p string, fn func(name string, last bool) bool) {
+	rest := Rel(p)
+	for rest != "" {
+		name, remainder := NextComponent(rest)
+		if !fn(name, remainder == "") {
+			return
+		}
+		rest = remainder
+	}
+}
+
 // Join builds a cleaned path from components.
 func Join(components ...string) string {
 	return Clean(strings.Join(components, "/"))
@@ -144,6 +181,35 @@ func TruncatePrefix(p string, k int) (prefix string, suffix []string) {
 		}
 	}
 	return p, nil // unreachable for canonical paths
+}
+
+// TruncateRel is TruncatePrefix returning the suffix as one relative
+// component string instead of a slice ("a/b" rather than ["a","b"]), so
+// the lookup hot path can iterate it with NextComponent without
+// allocating. The empty suffix means the whole path is the prefix.
+func TruncateRel(p string, k int) (prefix, suffix string) {
+	p = Clean(p)
+	if k < 0 {
+		k = 0
+	}
+	n := Depth(p)
+	cut := n - k
+	if cut <= 0 {
+		return "/", Rel(p)
+	}
+	if cut == n {
+		return p, ""
+	}
+	seen := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] == '/' {
+			seen++
+			if seen == cut {
+				return p[:i], p[i+1:]
+			}
+		}
+	}
+	return p, "" // unreachable for canonical paths
 }
 
 // IsAncestor reports whether ancestor is a strict ancestor of p (or equal

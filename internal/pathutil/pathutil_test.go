@@ -257,3 +257,104 @@ func BenchmarkCleanDirty(b *testing.B) {
 		_ = Clean(p)
 	}
 }
+
+func TestRelAndNextComponent(t *testing.T) {
+	cases := []struct {
+		p    string
+		want []string
+	}{
+		{"/", nil},
+		{"/a", []string{"a"}},
+		{"/a/b/c", []string{"a", "b", "c"}},
+		{"//a//b/", []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		var got []string
+		rest := Rel(c.p)
+		for rest != "" {
+			var name string
+			name, rest = NextComponent(rest)
+			got = append(got, name)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("Rel/NextComponent(%q) = %v, want %v", c.p, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Rel/NextComponent(%q) = %v, want %v", c.p, got, c.want)
+			}
+		}
+	}
+}
+
+func TestComponentsMatchesSplit(t *testing.T) {
+	for _, p := range []string{"/", "/a", "/a/b/c/d", "//x/./y//"} {
+		var got []string
+		var lastSeen bool
+		Components(p, func(name string, last bool) bool {
+			got = append(got, name)
+			lastSeen = last
+			return true
+		})
+		want := Split(p)
+		if len(got) != len(want) {
+			t.Fatalf("Components(%q) = %v, Split = %v", p, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Components(%q) = %v, Split = %v", p, got, want)
+			}
+		}
+		if len(want) > 0 && !lastSeen {
+			t.Fatalf("Components(%q): last flag never set", p)
+		}
+	}
+	// Early stop.
+	n := 0
+	Components("/a/b/c", func(string, bool) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d components, want 1", n)
+	}
+}
+
+func TestTruncateRelMatchesTruncatePrefix(t *testing.T) {
+	for _, p := range []string{"/", "/a", "/a/b", "/a/b/c/d/e/f"} {
+		for k := 0; k <= 7; k++ {
+			wantPrefix, wantSuffix := TruncatePrefix(p, k)
+			gotPrefix, gotSuffix := TruncateRel(p, k)
+			if gotPrefix != wantPrefix {
+				t.Fatalf("TruncateRel(%q,%d) prefix = %q, want %q", p, k, gotPrefix, wantPrefix)
+			}
+			var comps []string
+			rest := gotSuffix
+			for rest != "" {
+				var name string
+				name, rest = NextComponent(rest)
+				comps = append(comps, name)
+			}
+			if len(comps) != len(wantSuffix) {
+				t.Fatalf("TruncateRel(%q,%d) suffix = %v, want %v", p, k, comps, wantSuffix)
+			}
+			for i := range comps {
+				if comps[i] != wantSuffix[i] {
+					t.Fatalf("TruncateRel(%q,%d) suffix = %v, want %v", p, k, comps, wantSuffix)
+				}
+			}
+		}
+	}
+}
+
+func TestComponentIterationZeroAlloc(t *testing.T) {
+	p := "/a/b/c/d/e/f/g/h"
+	allocs := testing.AllocsPerRun(100, func() {
+		n := 0
+		Components(p, func(string, bool) bool { n++; return true })
+		if n != 8 {
+			t.Fatal("bad count")
+		}
+		_, _ = TruncateRel(p, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("component iteration allocated %v allocs/op, want 0", allocs)
+	}
+}

@@ -203,3 +203,81 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("walk count %d != Len %d", n, tr.Len())
 	}
 }
+
+// TestRemoveSubtreeConcurrentInsert races RemoveSubtree("/a") against
+// inserters filling paths under /a — the exact shape of a proxy-cache
+// fill racing a subtree invalidation. Invariants: every insert/removal
+// is atomic (a path is either fully present or fully absent — never a
+// dangling interior), RemoveSubtree returns only inserted paths and
+// never returns one path twice across concurrent sweeps, and at quiesce
+// a final sweep leaves the subtree empty with Len consistent.
+func TestRemoveSubtreeConcurrentInsert(t *testing.T) {
+	tr := New()
+	const (
+		inserters = 4
+		perGoro   = 2000
+		fanout    = 25
+	)
+	var wg sync.WaitGroup
+	inserted := make([]map[string]int, inserters) // path -> times inserted fresh
+	for g := 0; g < inserters; g++ {
+		inserted[g] = make(map[string]int)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				p := fmt.Sprintf("/a/g%d/x%d/leaf", g, i%fanout)
+				if tr.Insert(p) {
+					inserted[g][p]++
+				}
+			}
+		}(g)
+	}
+	removed := make(map[string]int)
+	var stop sync.WaitGroup
+	stopCh := make(chan struct{})
+	stop.Add(1)
+	go func() {
+		defer stop.Done()
+		for {
+			for _, p := range tr.RemoveSubtree("/a") {
+				removed[p]++
+			}
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopCh)
+	stop.Wait()
+	for _, p := range tr.RemoveSubtree("/a") {
+		removed[p]++
+	}
+
+	// Every fresh insert must be matched by exactly that many removals,
+	// and nothing was removed that was not inserted.
+	for _, m := range inserted {
+		for p, n := range m {
+			if removed[p] != n {
+				t.Fatalf("path %q inserted fresh %d times, removed %d times", p, n, removed[p])
+			}
+			delete(removed, p)
+		}
+	}
+	for p, n := range removed {
+		if n != 0 {
+			t.Fatalf("path %q removed %d times but never recorded as inserted", p, n)
+		}
+	}
+	if got := tr.Subtree("/a"); len(got) != 0 {
+		t.Fatalf("subtree /a not empty after final sweep: %v", got)
+	}
+	n := 0
+	tr.Walk(func(string) bool { n++; return true })
+	if n != tr.Len() {
+		t.Fatalf("walk count %d != Len %d", n, tr.Len())
+	}
+}

@@ -168,12 +168,24 @@ func (r *Raft) WaitApplied(index uint64) error {
 // waitAppliedTimeout is WaitApplied with a deadline, used by follower
 // reads so a partitioned replica does not block readers forever.
 func (r *Raft) waitAppliedTimeout(index uint64, d time.Duration) error {
+	// Fast path: on a caught-up replica (every consistent read whose
+	// apply already landed — the overwhelmingly common case) the index
+	// is already applied, so skip the goroutine + channel + timer that
+	// the slow path spends per call.
+	r.mu.Lock()
+	if r.lastApplied >= index {
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
 	done := make(chan error, 1)
 	go func() { done <- r.WaitApplied(index) }()
+	t := time.NewTimer(d)
+	defer t.Stop()
 	select {
 	case err := <-done:
 		return err
-	case <-time.After(d):
+	case <-t.C:
 		return types.ErrStopped
 	}
 }

@@ -115,11 +115,26 @@ type txnState struct {
 	locked []types.Key // keys this txn holds locks on (dedup'd)
 }
 
-// Shard is one storage shard. Safe for concurrent use.
+// txnStatePool recycles txnState values across transactions: a shard
+// under 2PC load prepares and releases one per transaction, and the
+// locked-keys slice keeps its capacity across reuses.
+var txnStatePool = sync.Pool{New: func() any { return &txnState{} }}
+
+func (st *txnState) release() {
+	st.muts = nil
+	st.locked = st.locked[:0]
+	txnStatePool.Put(st)
+}
+
+// Shard is one storage shard. Safe for concurrent use. Reads (Get,
+// Scan, Len, LockedKeys) take the mutex in shared mode, so the tafdb
+// read path — stat, readdir, delta-record scans — proceeds concurrently
+// across goroutines; 2PC prepare/commit/abort and relaxed applies take
+// it exclusively.
 type Shard struct {
 	id string
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	rows    *btree.Tree[types.Key, *Row]
 	locks   map[types.Key]*rowLock
 	txns    map[string]*txnState
@@ -146,15 +161,15 @@ func (s *Shard) ID() string { return s.id }
 
 // Len returns the number of rows.
 func (s *Shard) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.rows.Len()
 }
 
 // Get returns the row stored under k.
 func (s *Shard) Get(k types.Key) (Row, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	r, ok := s.rows.Get(k)
 	if !ok {
 		return Row{}, false
@@ -163,10 +178,11 @@ func (s *Shard) Get(k types.Key) (Row, bool) {
 }
 
 // Scan calls fn for every row with lo <= key < hi in key order until fn
-// returns false. fn receives a copy of the row.
+// returns false. fn receives a copy of the row. fn runs under the
+// shard's read lock and must not call back into the shard.
 func (s *Shard) Scan(lo, hi types.Key, fn func(Row) bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	s.rows.AscendRange(lo, hi, func(k types.Key, r *Row) bool {
 		return fn(*r)
 	})
@@ -280,9 +296,11 @@ func (s *Shard) Prepare(txnID string, guards []Guard, muts []Mutation) error {
 	if _, dup := s.txns[txnID]; dup {
 		return fmt.Errorf("shard %s: txn %s already prepared", s.id, txnID)
 	}
-	st := &txnState{muts: muts}
+	st := txnStatePool.Get().(*txnState)
+	st.muts = muts
 	fail := func(err error) error {
 		s.unlockAll(txnID, st.locked)
+		st.release()
 		return err
 	}
 	lock := func(k types.Key, mode lockMode) error {
@@ -339,6 +357,7 @@ func (s *Shard) Commit(txnID string) {
 	}
 	s.unlockAll(txnID, st.locked)
 	s.mu.Unlock()
+	st.release()
 }
 
 // Abort releases txnID's locks without applying anything.
@@ -351,6 +370,7 @@ func (s *Shard) Abort(txnID string) {
 	}
 	s.unlockAll(txnID, st.locked)
 	delete(s.txns, txnID)
+	st.release()
 }
 
 func (s *Shard) applyLocked(m Mutation) {
@@ -445,7 +465,7 @@ func (s *Shard) CompactRange(anchor types.Key, lo, hi types.Key, fold func(prima
 
 // LockedKeys reports how many row locks are currently held (diagnostics).
 func (s *Shard) LockedKeys() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.locks)
 }

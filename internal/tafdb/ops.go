@@ -84,6 +84,12 @@ func (db *DB) ReadDir(op *rpc.Op, dir types.InodeID) ([]types.Entry, error) {
 	p := db.shardFor(dir)
 	var out []types.Entry
 	err := op.Call(p.Node, db.cfg.OpCost, func() error {
+		// The parent's attribute row tracks its child count (LinkCount),
+		// so the result slice can be sized once instead of grown
+		// append-by-append across a large listing.
+		if row, ok := p.Shard.Get(attrKey(dir)); ok && row.Entry.Attr.LinkCount > 0 {
+			out = make([]types.Entry, 0, row.Entry.Attr.LinkCount)
+		}
 		p.Shard.Scan(
 			types.Key{Pid: dir, Name: childrenLo},
 			types.Key{Pid: dir + 1, Name: ""},
@@ -378,6 +384,15 @@ func (db *DB) ReadDirPage(op *rpc.Op, dir types.InodeID, startAfter string, limi
 		lo = startAfter + "\x00" // strictly after startAfter
 	}
 	err := op.Call(p.Node, db.cfg.OpCost, func() error {
+		// Size the page once: the directory holds at most LinkCount
+		// children, and the page at most limit entries.
+		hint := limit
+		if row, ok := p.Shard.Get(attrKey(dir)); ok && row.Entry.Attr.LinkCount < int64(hint) {
+			hint = int(row.Entry.Attr.LinkCount)
+		}
+		if hint > 0 {
+			out = make([]types.Entry, 0, hint)
+		}
 		p.Shard.Scan(
 			types.Key{Pid: dir, Name: lo},
 			types.Key{Pid: dir + 1, Name: ""},
