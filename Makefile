@@ -12,7 +12,7 @@ BENCH     ?= .
 BENCHTIME ?= 400ms
 CPUS      ?= 1,4
 
-.PHONY: all build test test-race fmt vet chaos bench bench-json clean
+.PHONY: all build test test-race fmt vet chaos bench bench-json bench-pr6 clean
 
 all: build
 
@@ -41,20 +41,40 @@ vet:
 chaos:
 	$(GO) test -count=1 -timeout 20m ./...
 
-# Hot-path micro-benchmarks (root package bench_parallel_test.go plus
-# the serial Mantle* set), with allocation accounting.
+# All benchmarks — the root package hot-path and write-path suites plus
+# the layer micro-benchmarks in internal/bench — with allocation
+# accounting.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -cpu $(CPUS) .
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -cpu $(CPUS) ./...
 
 # Same run, parsed into a machine-readable snapshot (bench.json). The
 # committed perf trajectory (BENCH_PR<n>.json) is built from these
 # snapshots: run once on the base commit, once on the candidate, and
 # merge with `go run ./cmd/benchjson before=<old> after=<new>`.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -cpu $(CPUS) . | tee bench.out.txt
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -cpu $(CPUS) ./... | tee bench.out.txt
 	$(GO) run ./cmd/benchjson run=bench.out.txt > bench.json
 	@rm -f bench.out.txt
 	@echo "wrote bench.json"
+
+# Write-path benchmark selection: the end-to-end client suite
+# (bench_write_test.go) and the layer micro-benchmarks (internal/bench).
+WRITEBENCH = Write|WALGroupCommit|RaftProposeParallel|Batched2PC
+
+# Regenerate the committed write-path snapshot (BENCH_PR6.json, the
+# Figure 16 "+raftlogbatch" ablation). Two runs:
+#   ablation     — both batching modes at a stable benchtime; the
+#                  committed evidence for the >= 2x batched win and
+#                  sub-1 fsyncs/op (run on a quiet machine).
+#   batch-on-1x  — the batched side with the exact flags the write-perf
+#                  CI lane uses; the lane gates fresh allocs/op against
+#                  this run via cmd/benchgate.
+bench-pr6:
+	$(GO) test -run '^$$' -bench 'Write' -benchmem -benchtime 400ms -cpu 8 . | tee bench-ablation.txt
+	MANTLE_WRITE_BATCH=on $(GO) test -run '^$$' -bench '$(WRITEBENCH)' -benchmem -benchtime=1x -cpu 8 . ./internal/bench | tee bench-write-1x.txt
+	$(GO) run ./cmd/benchjson ablation=bench-ablation.txt batch-on-1x=bench-write-1x.txt > BENCH_PR6.json
+	@rm -f bench-ablation.txt bench-write-1x.txt
+	@echo "wrote BENCH_PR6.json"
 
 clean:
 	$(GO) clean ./...

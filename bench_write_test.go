@@ -1,0 +1,149 @@
+// Write-path batching benchmarks (the Figure 16 "+raftlogbatch"
+// ablation shape): parallel proxy goroutines drive metadata mutations
+// against a deployment with simulated durability costs (WAL sync +
+// raft fsync, see internal/bench), once with write-path batching on
+// and once with it off. The numbers of interest are the throughput
+// ratio between the two modes and fsyncs/op — batching amortises the
+// per-sync latency across concurrent writers, so under concurrency ≥ 8
+// the batched path performs well under one durable sync per operation.
+//
+//	make bench        # human-readable run
+//	make bench-json   # machine-readable snapshot (BENCH_PR<n>.json)
+//
+// MANTLE_WRITE_BATCH=on|off|both (default both) narrows the sweep; the
+// gating write-perf CI lane runs each side separately and compares
+// allocs/op against the committed BENCH_PR6.json baseline.
+package mantle_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"mantle"
+	"mantle/internal/bench"
+)
+
+// writeBenchCluster builds a deployment with durable write costs for
+// the given batching mode, plus the shared hot directory.
+func writeBenchCluster(b *testing.B, mode bench.Mode) (*mantle.Cluster, *mantle.Client) {
+	b.Helper()
+	cl, err := mantle.New(bench.WriteConfig(mode.Batch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Stop)
+	c := cl.Client()
+	if err := c.MkdirAll(hotDir); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < hotObjects; i++ {
+		if _, err := c.Create(fmt.Sprintf("%s/o%d", hotDir, i), 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl, c
+}
+
+// reportFsyncs reports the durable syncs performed per operation.
+func reportFsyncs(b *testing.B, cl *mantle.Cluster, before int64) {
+	b.ReportMetric(float64(bench.Fsyncs(cl)-before)/float64(b.N), "fsyncs/op")
+}
+
+// BenchmarkWriteCreateStormParallel is the headline write workload:
+// every goroutine creates unique objects inside one hot directory
+// (Table 3 skew on the write path). Creates are single-shard TafDB
+// transactions, so the amortisation here is the WAL's group commit:
+// concurrent committers coalesce onto one shard sync.
+func BenchmarkWriteCreateStormParallel(b *testing.B) {
+	for _, mode := range bench.Modes() {
+		b.Run("batch="+mode.Name, func(b *testing.B) {
+			cl, _ := writeBenchCluster(b, mode)
+			var seq atomic.Int64
+			f0 := bench.Fsyncs(cl)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := cl.Client()
+				for pb.Next() {
+					if _, err := c.Create(fmt.Sprintf("%s/w%d", hotDir, seq.Add(1)), 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			reportFsyncs(b, cl, f0)
+		})
+	}
+}
+
+// BenchmarkWriteRenameCommitParallel drives the rename commit path:
+// each goroutine bounces a private directory between two names, which
+// exercises the IndexNode raft log (proposal batching + pipelined
+// replication) and TafDB's cross-shard 2PC (batched prepare/commit
+// rounds) on every iteration.
+func BenchmarkWriteRenameCommitParallel(b *testing.B) {
+	for _, mode := range bench.Modes() {
+		b.Run("batch="+mode.Name, func(b *testing.B) {
+			cl, c := writeBenchCluster(b, mode)
+			if err := c.MkdirAll("/w"); err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			f0 := bench.Fsyncs(cl)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				cc := cl.Client()
+				wid := seq.Add(1)
+				src := fmt.Sprintf("/w/g%d-a", wid)
+				dst := fmt.Sprintf("/w/g%d-b", wid)
+				if err := cc.Mkdir(src); err != nil {
+					b.Fatal(err)
+				}
+				for pb.Next() {
+					if err := cc.Rename(src, dst); err != nil {
+						b.Fatal(err)
+					}
+					src, dst = dst, src
+				}
+			})
+			b.StopTimer()
+			reportFsyncs(b, cl, f0)
+		})
+	}
+}
+
+// BenchmarkWriteMixedParallel mixes the workloads the way production
+// namespaces do (mostly reads, a steady create churn): 1 create per 8
+// stats against the hot directory. Batching must win on the writes
+// without costing the read path anything.
+func BenchmarkWriteMixedParallel(b *testing.B) {
+	for _, mode := range bench.Modes() {
+		b.Run("batch="+mode.Name, func(b *testing.B) {
+			cl, _ := writeBenchCluster(b, mode)
+			var seq atomic.Int64
+			f0 := bench.Fsyncs(cl)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := cl.Client()
+				i := 0
+				for pb.Next() {
+					if i%8 == 7 {
+						if _, err := c.Create(fmt.Sprintf("%s/m%d", hotDir, seq.Add(1)), 1); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						if _, err := c.Stat(fmt.Sprintf("%s/o%d", hotDir, i%hotObjects)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			reportFsyncs(b, cl, f0)
+		})
+	}
+}

@@ -1,0 +1,154 @@
+// Command benchgate compares one metric between two benchjson snapshots
+// and fails when the candidate regresses past the allowed slack. It is
+// the gating half of the write-perf CI lane: the committed baseline
+// (BENCH_PR<n>.json) pins allocs/op for the batched write path, and the
+// lane's fresh -benchtime=1x run must stay within tolerance of it.
+//
+// The gate is count-based on purpose: allocs/op is (nearly) independent
+// of shared-runner speed, unlike ns/op, so it can gate without flaking
+// on noisy hardware.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_PR6.json -baseline-run batch-on-1x \
+//	          -candidate bench-write.json -candidate-run batch-on-1x \
+//	          -metric allocs/op -match 'batch=on' -rel 0.25 -abs 8
+//
+// Benchmarks are matched by (name, procs). Candidate entries missing
+// from the baseline are reported and skipped (new benchmarks gate from
+// the next baseline refresh). An empty candidate selection is an error,
+// so a typo'd -match cannot produce a silently green gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+// Bench mirrors cmd/benchjson's per-line record.
+type Bench struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot mirrors cmd/benchjson's document.
+type Snapshot struct {
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Runs      map[string][]Bench `json:"runs"`
+}
+
+func loadRun(path, label string) ([]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	run, ok := snap.Runs[label]
+	if !ok {
+		labels := make([]string, 0, len(snap.Runs))
+		for l := range snap.Runs {
+			labels = append(labels, l)
+		}
+		return nil, fmt.Errorf("%s: no run labelled %q (have %v)", path, label, labels)
+	}
+	return run, nil
+}
+
+type key struct {
+	name  string
+	procs int
+}
+
+func main() {
+	var (
+		baseline     = flag.String("baseline", "", "committed benchjson baseline (required)")
+		baselineRun  = flag.String("baseline-run", "batch-on-1x", "run label inside the baseline")
+		candidate    = flag.String("candidate", "", "fresh benchjson snapshot to gate (required)")
+		candidateRun = flag.String("candidate-run", "batch-on-1x", "run label inside the candidate")
+		metric       = flag.String("metric", "allocs/op", "metric to compare")
+		match        = flag.String("match", "", "regexp filter on benchmark names (empty = all)")
+		rel          = flag.Float64("rel", 0.25, "allowed relative increase over baseline")
+		abs          = flag.Float64("abs", 8, "allowed absolute increase over baseline")
+	)
+	flag.Parse()
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -candidate are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var re *regexp.Regexp
+	if *match != "" {
+		var err error
+		if re, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: bad -match:", err)
+			os.Exit(2)
+		}
+	}
+	base, err := loadRun(*baseline, *baselineRun)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	cand, err := loadRun(*candidate, *candidateRun)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+
+	baseBy := map[key]Bench{}
+	for _, b := range base {
+		baseBy[key{b.Name, b.Procs}] = b
+	}
+
+	compared, failed := 0, 0
+	for _, c := range cand {
+		if re != nil && !re.MatchString(c.Name) {
+			continue
+		}
+		got, ok := c.Metrics[*metric]
+		if !ok {
+			continue
+		}
+		b, ok := baseBy[key{c.Name, c.Procs}]
+		if !ok {
+			fmt.Printf("SKIP %s-%d: not in baseline (gates from next refresh)\n", c.Name, c.Procs)
+			continue
+		}
+		want, ok := b.Metrics[*metric]
+		if !ok {
+			fmt.Printf("SKIP %s-%d: baseline has no %s\n", c.Name, c.Procs, *metric)
+			continue
+		}
+		compared++
+		limit := want*(1+*rel) + *abs
+		status := "ok  "
+		if got > limit {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %s-%d: %s %.3g vs baseline %.3g (limit %.3g)\n",
+			status, c.Name, c.Procs, *metric, got, want, limit)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: nothing compared (match=%q metric=%q) — refusing to pass an empty gate\n",
+			*match, *metric)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d/%d benchmark(s) regressed %s beyond rel=%.0f%% abs=%g\n",
+			failed, compared, *metric, *rel*100, *abs)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within budget (%s, rel=%.0f%%, abs=%g)\n",
+		compared, *metric, *rel*100, *abs)
+}

@@ -1,0 +1,71 @@
+// Shared harness for the write-path batching benchmarks (the Figure 16
+// "+raftlogbatch" ablation shape): it builds deployments with simulated
+// durability costs, selects the batching variants to sweep, and totals
+// the simulated fsyncs so suites can report fsyncs/op. The root-package
+// bench_write_test.go drives the end-to-end client workloads through
+// it; write_bench_test.go holds the layer-level micro-benchmarks (WAL
+// group commit, raft propose, batched 2PC).
+
+package bench
+
+import (
+	"os"
+	"time"
+
+	"mantle"
+)
+
+// Mode is one batching configuration of the write suite.
+type Mode struct {
+	// Name tags sub-benchmarks ("batch=on" / "batch=off").
+	Name string
+	// Batch enables write-path batching at every layer.
+	Batch bool
+}
+
+// Modes returns the batching variants to benchmark. The
+// MANTLE_WRITE_BATCH environment variable ("on", "off", or "both"; the
+// default is "both") narrows the sweep, so CI lanes can run and gate
+// one side at a time.
+func Modes() []Mode {
+	switch os.Getenv("MANTLE_WRITE_BATCH") {
+	case "on":
+		return []Mode{{"on", true}}
+	case "off":
+		return []Mode{{"off", false}}
+	}
+	return []Mode{{"on", true}, {"off", false}}
+}
+
+// Simulated durability costs for the write suite: large enough that
+// sync amortisation is the first-order effect (as with the paper's
+// 400µs testbed fsync), small enough for -benchtime=1x smoke runs.
+const (
+	// WALSyncCost is the per-sync latency of each TafDB shard's WAL.
+	WALSyncCost = 150 * time.Microsecond
+	// FsyncCost is the per-sync latency of the IndexNode raft log.
+	FsyncCost = 150 * time.Microsecond
+)
+
+// WriteConfig is the deployment the write suite runs against: durable
+// WAL and raft log, batching toggled per mode.
+func WriteConfig(batch bool) mantle.Config {
+	return mantle.Config{
+		Shards:            4,
+		WALSyncCost:       WALSyncCost,
+		FsyncCost:         FsyncCost,
+		DisableWriteBatch: !batch,
+	}
+}
+
+// Fsyncs totals the simulated durable syncs performed so far on the
+// deployment's write path: TafDB WAL syncs plus raft log syncs on
+// every replica.
+func Fsyncs(cl *mantle.Cluster) int64 {
+	n := cl.Core().DB().WALStats().Syncs
+	for _, r := range cl.Core().Index().Rafts() {
+		syncs, _, _, _ := r.MetricsRef().Snapshot()
+		n += syncs
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+// Layer-level micro-benchmarks for the write-path batching work: each
+// one isolates a single batching mechanism (WAL group commit, raft
+// proposal batching + pipelining, batched cross-shard 2PC) and reports
+// syncs/op so the amortisation is visible without the rest of the
+// stack in the way. The end-to-end client workloads live in the root
+// package's bench_write_test.go.
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mantle/internal/netsim"
+	"mantle/internal/raft"
+	"mantle/internal/rpc"
+	"mantle/internal/storage"
+	"mantle/internal/txn"
+	"mantle/internal/types"
+)
+
+// microSyncCost is the simulated per-sync latency for the layer
+// benchmarks (cheaper than the end-to-end suite so -benchtime=1x smoke
+// runs stay fast).
+const microSyncCost = 100 * time.Microsecond
+
+// BenchmarkWALGroupCommit hammers one WAL from parallel committers.
+// With group commit on, concurrent Commits coalesce onto a shared
+// fsync; off, every staged batch pays its own.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	for _, mode := range Modes() {
+		b.Run("batch="+mode.Name, func(b *testing.B) {
+			w := storage.NewWAL(microSyncCost)
+			w.SetGroupCommit(mode.Batch)
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := seq.Add(1)
+					w.Commit([]storage.Mutation{{
+						Kind: storage.MutPut,
+						Key:  types.Key{Pid: types.InodeID(n), Name: "x"},
+					}})
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(w.Syncs())/float64(b.N), "syncs/op")
+		})
+	}
+}
+
+// BenchmarkRaftProposeParallel drives concurrent proposals through a
+// single-voter raft group with a simulated log fsync. Batching ingests
+// the whole proposal queue per append; pipelining lets the leader keep
+// appending while the previous fsync is in flight.
+func BenchmarkRaftProposeParallel(b *testing.B) {
+	for _, mode := range Modes() {
+		b.Run("batch="+mode.Name, func(b *testing.B) {
+			rs := raft.NewGroup([]raft.Config{{
+				ID:           "bench-0",
+				FsyncCost:    microSyncCost,
+				BatchEnabled: mode.Batch,
+				Pipeline:     mode.Batch,
+			}})
+			b.Cleanup(func() {
+				for _, r := range rs {
+					r.Stop()
+				}
+			})
+			leader, err := raft.WaitLeader(rs, 5*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := leader.Propose([]byte("w")); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			syncs, _, _, _ := leader.MetricsRef().Snapshot()
+			b.ReportMetric(float64(syncs)/float64(b.N), "syncs/op")
+		})
+	}
+}
+
+// BenchmarkBatched2PC runs independent two-shard transactions over the
+// same shard pair from parallel goroutines. The Batcher groups them
+// into shared prepare/commit rounds, and the participants' WAL group
+// commit coalesces each round's records; Direct pays full 2PC per txn.
+func BenchmarkBatched2PC(b *testing.B) {
+	for _, mode := range Modes() {
+		b.Run("batch="+mode.Name, func(b *testing.B) {
+			fabric := netsim.NewLocalFabric()
+			caller := rpc.NewCaller(fabric)
+			parts := make([]*txn.Participant, 2)
+			for i := range parts {
+				name := fmt.Sprintf("shard-%d", i)
+				sh := storage.NewShard(name)
+				w := storage.NewWAL(microSyncCost)
+				w.SetGroupCommit(mode.Batch)
+				sh.AttachWAL(w)
+				parts[i] = &txn.Participant{
+					Shard: sh,
+					Node:  netsim.NewNode(name, 0),
+				}
+			}
+			var runner txn.Runner = txn.Direct{}
+			if mode.Batch {
+				runner = txn.NewBatcher(0)
+			}
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := seq.Add(1)
+					pieces := make([]txn.Piece, 2)
+					for i, p := range parts {
+						pieces[i] = txn.Piece{
+							P: p,
+							Muts: []storage.Mutation{{
+								Kind: storage.MutPut,
+								Key:  types.Key{Pid: types.InodeID(n), Name: fmt.Sprintf("p%d", i)},
+							}},
+						}
+					}
+					id := fmt.Sprintf("t%d", n)
+					if err := runner.Run(caller.Begin(), id, pieces); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			var syncs int64
+			for _, p := range parts {
+				syncs += p.Shard.WAL().Syncs()
+			}
+			b.ReportMetric(float64(syncs)/float64(b.N), "syncs/op")
+		})
+	}
+}

@@ -23,13 +23,19 @@ func TestChaosLeaderKillsUnderLoad(t *testing.T) {
 		t.Skip("chaos test skipped in -short")
 	}
 	cfg := func(c *Config) {
-		// 5 voters so two kills still leave a quorum.
+		// 5 voters so two kills still leave a quorum. The full
+		// write-batching stack (raft batching + pipelining, WAL group
+		// commit, batched 2PC) stays on while leaders die under it.
 		c.Index = indexnode.Config{
 			Voters: 5, K: 2, CacheEnabled: true, BatchEnabled: true,
+			Pipeline: true, FsyncCost: 50 * time.Microsecond,
 			FollowerRead:    true,
 			ElectionTimeout: 300 * time.Millisecond,
 		}
-		c.TafDB = tafdb.Config{Shards: 4, Delta: tafdb.DeltaAuto}
+		c.TafDB = tafdb.Config{
+			Shards: 4, Delta: tafdb.DeltaAuto,
+			WALSyncCost: 50 * time.Microsecond, Batch2PC: true,
+		}
 	}
 	m := newTestMantle(t, cfg)
 	if _, err := m.Mkdir(op(m), "/chaos"); err != nil {

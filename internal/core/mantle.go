@@ -180,6 +180,46 @@ func NewWithDB(cfg Config, db *tafdb.DB) (*Mantle, error) {
 	// proposals (IndexNode group, enqueue → applied).
 	m.stats.AttachLatency("latency_txn_commit", db.TxnLatency())
 	m.stats.AttachLatency("latency_raft_propose", idx.ProposeLatency())
+	// Write-path batching observability: raft log-batch counters and
+	// flush reasons, WAL group-commit sync accounting, and the batched
+	// 2PC coordinator — plus the derived occupancy/fan-in ratios the
+	// ablation analysis reads directly.
+	m.stats.Gauge("raft_batch_appends", func() int64 { return idx.RaftBatchStats().Appends })
+	m.stats.Gauge("raft_batch_proposals", func() int64 { return idx.RaftBatchStats().Proposals })
+	m.stats.Gauge("raft_batch_bytes", func() int64 { return idx.RaftBatchStats().BatchBytes })
+	m.stats.Gauge("raft_batch_syncs", func() int64 { return idx.RaftBatchStats().Syncs })
+	m.stats.Gauge("raft_flush_idle", func() int64 { return idx.RaftBatchStats().FlushIdle })
+	m.stats.Gauge("raft_flush_timer", func() int64 { return idx.RaftBatchStats().FlushTimer })
+	m.stats.Gauge("raft_flush_count", func() int64 { return idx.RaftBatchStats().FlushCount })
+	m.stats.Gauge("raft_flush_bytes", func() int64 { return idx.RaftBatchStats().FlushBytes })
+	m.stats.GaugeFloat("raft_batch_occupancy", func() float64 {
+		s := idx.RaftBatchStats()
+		if s.Appends == 0 {
+			return 0
+		}
+		return float64(s.Proposals) / float64(s.Appends)
+	})
+	m.stats.Gauge("wal_syncs", func() int64 { return db.WALStats().Syncs })
+	m.stats.Gauge("wal_syncs_solo", func() int64 { return db.WALStats().SoloSyncs })
+	m.stats.Gauge("wal_syncs_group", func() int64 { return db.WALStats().GroupSyncs })
+	m.stats.Gauge("wal_batches_covered", func() int64 { return db.WALStats().Covered })
+	m.stats.GaugeFloat("wal_group_fanin", func() float64 {
+		s := db.WALStats()
+		if s.Syncs == 0 {
+			return 0
+		}
+		return float64(s.Covered) / float64(s.Syncs)
+	})
+	m.stats.Gauge("txn_batch_txns", func() int64 { t, _, _ := db.Batch2PCStats(); return t })
+	m.stats.Gauge("txn_batch_batched", func() int64 { _, n, _ := db.Batch2PCStats(); return n })
+	m.stats.Gauge("txn_batch_rounds", func() int64 { _, _, r := db.Batch2PCStats(); return r })
+	m.stats.GaugeFloat("txn_batch_fanin", func() float64 {
+		t, _, r := db.Batch2PCStats()
+		if r == 0 {
+			return 0
+		}
+		return float64(t) / float64(r)
+	})
 	if s, ok := cfg.Fabric.Faults().(interface{ Stats() faults.Stats }); ok {
 		m.stats.Gauge("fault_delivered", func() int64 { return s.Stats().Delivered })
 		m.stats.Gauge("fault_dropped", func() int64 { return s.Stats().Dropped })

@@ -27,14 +27,23 @@ func TestPartitionDegradedReadsAndFailFastWrites(t *testing.T) {
 	fabric := netsim.NewLocalFabric()
 	inj := faults.New(1337)
 	inj.Attach(fabric)
+	// The full write-batching stack stays on during the fault run: the
+	// acceptance bar is that batching (raft log batching + pipelined
+	// replication, WAL group commit, batched 2PC) does not change fault
+	// semantics.
 	cfg := Config{
 		Fabric: fabric,
-		TafDB:  tafdb.Config{Shards: 4, Delta: tafdb.DeltaAuto},
+		TafDB: tafdb.Config{
+			Shards: 4, Delta: tafdb.DeltaAuto,
+			WALSyncCost: 50 * time.Microsecond, Batch2PC: true,
+		},
 		Index: indexnode.Config{
 			Voters:            3,
 			K:                 2,
 			CacheEnabled:      true,
 			BatchEnabled:      true,
+			Pipeline:          true,
+			FsyncCost:         50 * time.Microsecond,
 			FollowerRead:      true,
 			DegradedReads:     true,
 			ElectionTimeout:   50 * time.Millisecond,
@@ -191,10 +200,16 @@ func TestPartitionedWritesDoNotDuplicateAfterHeal(t *testing.T) {
 	inj.Attach(fabric)
 	m, err := New(Config{
 		Fabric: fabric,
-		TafDB:  tafdb.Config{Shards: 2, Delta: tafdb.DeltaAuto},
+		TafDB: tafdb.Config{
+			Shards: 2, Delta: tafdb.DeltaAuto,
+			WALSyncCost: 50 * time.Microsecond, Batch2PC: true,
+		},
 		Index: indexnode.Config{
 			Voters:            3,
 			CacheEnabled:      true,
+			BatchEnabled:      true,
+			Pipeline:          true,
+			FsyncCost:         50 * time.Microsecond,
 			ElectionTimeout:   50 * time.Millisecond,
 			HeartbeatInterval: 10 * time.Millisecond,
 			RetryWindow:       300 * time.Millisecond,

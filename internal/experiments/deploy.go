@@ -182,6 +182,10 @@ func NewSystem(name string, fabric *netsim.Fabric, opts SystemOpts) (api.Service
 				LookupBaseCost: idxBaseCost, LookupLevelCost: idxLevelCost,
 				WriteCost: idxWriteCost,
 				FsyncCost: fsyncCost, BatchEnabled: opts.MantleBatch, MaxBatch: raftBatch,
+				// "+raftlogbatch" is batching plus pipelined
+				// replication — the two halves of the paper's log
+				// batching optimisation.
+				Pipeline: opts.MantleBatch,
 			},
 		})
 	case "tectonic", "dbtable":

@@ -36,11 +36,17 @@ type Config struct {
 	LookupLevelCost time.Duration
 	// WriteCost is the CPU charge for directory-modification RPCs.
 	WriteCost time.Duration
-	// FsyncCost, BatchEnabled, MaxBatch configure the Raft log
-	// ("+raftlogbatch" ablation).
-	FsyncCost    time.Duration
-	BatchEnabled bool
-	MaxBatch     int
+	// FsyncCost, BatchEnabled, MaxBatch, MaxBatchBytes, MaxBatchDelay
+	// and Pipeline configure the Raft log ("+raftlogbatch" ablation):
+	// batching folds queued proposals into one append/fsync behind a
+	// count/byte/time window, and Pipeline streams AppendEntries while
+	// the leader's own fsync is in flight.
+	FsyncCost     time.Duration
+	BatchEnabled  bool
+	MaxBatch      int
+	MaxBatchBytes int
+	MaxBatchDelay time.Duration
+	Pipeline      bool
 	// SnapshotThreshold triggers Raft log compaction after this many
 	// applied entries (0 = default of 8192; negative disables).
 	SnapshotThreshold int
@@ -171,6 +177,9 @@ func NewGroup(cfg Config) (*Group, error) {
 			FsyncCost:         cfg.FsyncCost,
 			BatchEnabled:      cfg.BatchEnabled,
 			MaxBatch:          cfg.MaxBatch,
+			MaxBatchBytes:     cfg.MaxBatchBytes,
+			MaxBatchDelay:     cfg.MaxBatchDelay,
+			Pipeline:          cfg.Pipeline,
 			SnapshotThreshold: cfg.SnapshotThreshold,
 			SM:                rep,
 			ProposeLatency:    g.proposeLat,
@@ -504,6 +513,24 @@ func (g *Group) CoalescedWalks() int64 {
 // Rafts exposes the group's raft replicas (stats and failure injection in
 // tests and tools).
 func (g *Group) Rafts() []*raft.Raft { return g.rafts }
+
+// RaftBatchStats sums the write-batching counters across the group's
+// replicas (appends and flush reasons accrue on whichever replica led).
+func (g *Group) RaftBatchStats() raft.BatchStats {
+	var out raft.BatchStats
+	for _, r := range g.rafts {
+		s := r.MetricsRef().Batch()
+		out.Syncs += s.Syncs
+		out.Appends += s.Appends
+		out.Proposals += s.Proposals
+		out.BatchBytes += s.BatchBytes
+		out.FlushIdle += s.FlushIdle
+		out.FlushTimer += s.FlushTimer
+		out.FlushCount += s.FlushCount
+		out.FlushBytes += s.FlushBytes
+	}
+	return out
+}
 
 // MemberIDs returns the replica identifiers (raft IDs, which are also
 // the netsim node names) — the handles fault injectors partition on.

@@ -221,6 +221,7 @@ type Registry struct {
 	counters  map[string]*Counter
 	latencies map[string]*Latency
 	gauges    map[string]func() int64
+	fgauges   map[string]func() float64
 }
 
 // NewRegistry creates an empty registry.
@@ -229,6 +230,7 @@ func NewRegistry() *Registry {
 		counters:  make(map[string]*Counter),
 		latencies: make(map[string]*Latency),
 		gauges:    make(map[string]func() int64),
+		fgauges:   make(map[string]func() float64),
 	}
 }
 
@@ -274,6 +276,15 @@ func (r *Registry) Gauge(name string, fn func() int64) {
 	r.gauges[name] = fn
 }
 
+// GaugeFloat registers a float-valued callback sampled at exposition
+// time — ratios like batch occupancy or group-commit fan-in, which an
+// integer gauge would truncate to meaninglessness.
+func (r *Registry) GaugeFloat(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fgauges[name] = fn
+}
+
 // Write renders the registry in a flat "name value" text format, sorted
 // by name. Latency histograms expand to _count/_mean_us/_p50_us/
 // _p95_us/_p99_us/_max_us. Gauge callbacks are snapshotted under the
@@ -297,6 +308,14 @@ func (r *Registry) Write(w io.Writer) error {
 	for name, fn := range r.gauges {
 		gauges = append(gauges, gauge{name, fn})
 	}
+	type fgauge struct {
+		name string
+		fn   func() float64
+	}
+	fgauges := make([]fgauge, 0, len(r.fgauges))
+	for name, fn := range r.fgauges {
+		fgauges = append(fgauges, fgauge{name, fn})
+	}
 	r.mu.Unlock()
 	for name, l := range lats {
 		count, mean, max := l.Snapshot()
@@ -311,6 +330,9 @@ func (r *Registry) Write(w io.Writer) error {
 	}
 	for _, g := range gauges {
 		lines = append(lines, fmt.Sprintf("%s %d", g.name, g.fn()))
+	}
+	for _, g := range fgauges {
+		lines = append(lines, fmt.Sprintf("%s %.3f", g.name, g.fn()))
 	}
 	sort.Strings(lines)
 	for _, line := range lines {

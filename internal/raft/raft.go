@@ -11,7 +11,13 @@
 //     concurrent readers are batched into one RPC, as the paper
 //     describes) and waits until the local applyIndex catches up,
 //   - proposal batching: the leader groups queued proposals into one log
-//     append and one fsync per batch ("+raftlogbatch" in Figure 16), and
+//     append and one fsync per batch ("+raftlogbatch" in Figure 16),
+//     bounded by a count/byte/time window (MaxBatch, MaxBatchBytes,
+//     MaxBatchDelay),
+//   - pipelined replication (Config.Pipeline): the leader streams
+//     AppendEntries as soon as entries are appended in memory and
+//     fsyncs them in a background sync stage; the commit rule counts
+//     the leader's durable index, so quorum durability is preserved, and
 //   - a simulated fsync cost per log sync, serialised per node, which is
 //     the disk bottleneck that batching amortises (§5.2.3).
 //
@@ -125,6 +131,22 @@ type Config struct {
 	BatchEnabled bool
 	// MaxBatch bounds the number of proposals folded into one append.
 	MaxBatch int
+	// MaxBatchBytes bounds the total command bytes folded into one
+	// append (default 1 MiB).
+	MaxBatchBytes int
+	// MaxBatchDelay is how long the leader holds an under-filled batch
+	// open waiting for more proposals. Zero (the default) closes the
+	// batch as soon as the ingest queue drains, so an idle group pays no
+	// added latency; batching still emerges under load because
+	// proposals queue behind the in-flight fsync.
+	MaxBatchDelay time.Duration
+	// Pipeline lets the leader stream AppendEntries to followers while
+	// its own log sync is still in flight. Appended entries are handed
+	// to a background sync stage that coalesces consecutive appends
+	// into one fsync, and the commit rule counts the leader's durable
+	// index (not its last appended index), so an entry still commits
+	// only once a quorum has it on disk.
+	Pipeline bool
 	// SnapshotThreshold triggers log compaction once this many applied
 	// entries accumulate past the previous snapshot. Zero disables
 	// compaction. Requires SM to implement Snapshotter.
@@ -148,6 +170,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxBatch <= 0 {
 		out.MaxBatch = 256
+	}
+	if out.MaxBatchBytes <= 0 {
+		out.MaxBatchBytes = 1 << 20
 	}
 	if out.Fabric == nil {
 		out.Fabric = netsim.NewLocalFabric()
@@ -193,6 +218,13 @@ type Raft struct {
 	log         []Entry // log[0] is a sentinel at index 0, term 0
 	commitIndex uint64
 	lastApplied uint64
+	// durableIndex is the highest log index covered by a completed
+	// fsync on this replica. Followers advance it synchronously (they
+	// fsync before acking AppendEntries); a pipelined leader advances
+	// it from syncLoop, and maybeAdvanceCommit uses it as the leader's
+	// own acknowledgement so an entry commits only once a quorum has it
+	// durable.
+	durableIndex uint64
 	// Leader volatile state.
 	nextIndex  map[string]uint64
 	matchIndex map[string]uint64
@@ -205,6 +237,7 @@ type Raft struct {
 
 	applyCh   chan struct{} // kicks the applier
 	proposeCh chan *proposal
+	syncCh    chan struct{} // kicks the pipelined leader sync stage
 	stopCh    chan struct{}
 	stopOnce  sync.Once
 	wg        sync.WaitGroup
@@ -256,10 +289,78 @@ type Metrics struct {
 	Proposals int64 // proposals accepted
 	Elections int64 // elections started
 
+	// Batching accounting: cumulative command bytes appended, and why
+	// each leader batch was closed (batch occupancy = Proposals /
+	// Appends; flush counters sum to the leader's Appends minus no-op
+	// barriers).
+	BatchBytes int64
+	FlushIdle  int64 // ingest queue drained (no delay window, or stop)
+	FlushTimer int64 // MaxBatchDelay expired
+	FlushCount int64 // MaxBatch proposals reached
+	FlushBytes int64 // MaxBatchBytes reached
+
 	// Cumulative proposal-stage wall time (observability): queue wait
 	// until log append, and append-to-apply completion.
 	IngestWait time.Duration
 	CommitWait time.Duration
+}
+
+// flushReason classifies why the leader closed a proposal batch.
+type flushReason uint8
+
+const (
+	flushIdle flushReason = iota
+	flushTimer
+	flushCount
+	flushBytes
+)
+
+// noteAppend records one leader batch append: its proposal count, its
+// command bytes, and the reason the batch was closed.
+func (m *Metrics) noteAppend(proposals, bytes int64, reason flushReason) {
+	m.mu.Lock()
+	m.Appends++
+	m.Proposals += proposals
+	m.BatchBytes += bytes
+	switch reason {
+	case flushTimer:
+		m.FlushTimer++
+	case flushCount:
+		m.FlushCount++
+	case flushBytes:
+		m.FlushBytes++
+	default:
+		m.FlushIdle++
+	}
+	m.mu.Unlock()
+}
+
+// BatchStats is a snapshot of the write-batching counters.
+type BatchStats struct {
+	Syncs      int64
+	Appends    int64
+	Proposals  int64
+	BatchBytes int64
+	FlushIdle  int64
+	FlushTimer int64
+	FlushCount int64
+	FlushBytes int64
+}
+
+// Batch snapshots the batching counters.
+func (m *Metrics) Batch() BatchStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return BatchStats{
+		Syncs:      m.Syncs,
+		Appends:    m.Appends,
+		Proposals:  m.Proposals,
+		BatchBytes: m.BatchBytes,
+		FlushIdle:  m.FlushIdle,
+		FlushTimer: m.FlushTimer,
+		FlushCount: m.FlushCount,
+		FlushBytes: m.FlushBytes,
+	}
 }
 
 // StageWaits returns the mean per-proposal ingest and commit waits.
@@ -312,6 +413,7 @@ func NewGroup(cfgs []Config) []*Raft {
 			matchIndex: make(map[string]uint64),
 			applyCh:    make(chan struct{}, 1),
 			proposeCh:  make(chan *proposal, 4096),
+			syncCh:     make(chan struct{}, 1),
 			stopCh:     make(chan struct{}),
 		}
 		if cc.Learner {

@@ -35,8 +35,10 @@ func (r *Raft) leaderLoop(term uint64) {
 		r.log = append(r.log, Entry{Term: term, Index: idx + 1})
 		r.metrics.add(0, 1, 0, 0)
 	}
+	noop, _ := r.lastLogLocked()
 	r.mu.Unlock()
 	r.fsync()
+	r.advanceDurable(noop)
 	r.maybeAdvanceCommit(term)
 
 	// Per-peer replicators.
@@ -49,6 +51,10 @@ func (r *Raft) leaderLoop(term uint64) {
 		kicks[id] = k
 		r.wg.Add(1)
 		go r.replicateTo(term, p, k, done)
+	}
+	if r.cfg.Pipeline {
+		r.wg.Add(1)
+		go r.syncLoop(term, done)
 	}
 	kickAll := func() {
 		for _, k := range kicks {
@@ -83,18 +89,7 @@ func (r *Raft) leaderLoop(term uint64) {
 			}
 			kickAll()
 		case p := <-r.proposeCh:
-			batch := []*proposal{p}
-			if r.cfg.BatchEnabled {
-				for len(batch) < r.cfg.MaxBatch {
-					select {
-					case q := <-r.proposeCh:
-						batch = append(batch, q)
-					default:
-						goto ingest
-					}
-				}
-			}
-		ingest:
+			batch, bytes, reason := r.collectBatch(p)
 			r.mu.Lock()
 			if r.role != Leader || r.term != term {
 				r.mu.Unlock()
@@ -104,21 +99,133 @@ func (r *Raft) leaderLoop(term uint64) {
 				return
 			}
 			now := time.Now()
+			var last uint64
 			for _, q := range batch {
 				idx, _ := r.lastLogLocked()
 				e := Entry{Term: term, Index: idx + 1, Cmd: q.cmd}
 				r.log = append(r.log, e)
+				last = e.Index
 				q.appended = now
 				if r.pending == nil {
 					r.pending = make(map[uint64]*proposal)
 				}
 				r.pending[e.Index] = q
 			}
-			r.metrics.add(0, 1, int64(len(batch)), 0)
+			r.metrics.noteAppend(int64(len(batch)), int64(bytes), reason)
+			r.mu.Unlock()
+			if r.cfg.Pipeline {
+				// Stream AppendEntries right away; the sync stage makes
+				// the batch durable and commit advances from there.
+				kickAll()
+				select {
+				case r.syncCh <- struct{}{}:
+				default:
+				}
+			} else {
+				r.fsync()
+				r.advanceDurable(last)
+				r.maybeAdvanceCommit(term) // single-voter groups commit locally
+				kickAll()
+			}
+		}
+	}
+}
+
+// collectBatch gathers the leader's next proposal batch behind the
+// configured count/byte/time window and reports why it was closed. The
+// delay window, when set, is measured from the first moment the queue
+// runs dry, so a batch is never held longer than MaxBatchDelay.
+func (r *Raft) collectBatch(first *proposal) (batch []*proposal, bytes int, reason flushReason) {
+	batch = []*proposal{first}
+	bytes = len(first.cmd)
+	if !r.cfg.BatchEnabled {
+		return batch, bytes, flushIdle
+	}
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		if len(batch) >= r.cfg.MaxBatch {
+			return batch, bytes, flushCount
+		}
+		if bytes >= r.cfg.MaxBatchBytes {
+			return batch, bytes, flushBytes
+		}
+		select {
+		case q := <-r.proposeCh:
+			batch = append(batch, q)
+			bytes += len(q.cmd)
+			continue
+		default:
+		}
+		if r.cfg.MaxBatchDelay <= 0 {
+			return batch, bytes, flushIdle
+		}
+		if timeout == nil {
+			timer = time.NewTimer(r.cfg.MaxBatchDelay)
+			timeout = timer.C
+		}
+		select {
+		case q := <-r.proposeCh:
+			batch = append(batch, q)
+			bytes += len(q.cmd)
+		case <-timeout:
+			return batch, bytes, flushTimer
+		case <-r.stopCh:
+			return batch, bytes, flushIdle
+		}
+	}
+}
+
+// advanceDurable raises durableIndex to idx (never past the current log
+// end, which a follower's log truncation could have moved back).
+func (r *Raft) advanceDurable(idx uint64) {
+	r.mu.Lock()
+	if last, _ := r.lastLogLocked(); idx > last {
+		idx = last
+	}
+	if idx > r.durableIndex {
+		r.durableIndex = idx
+	}
+	r.mu.Unlock()
+}
+
+// syncLoop is the pipelined leader's log-sync stage: replicators stream
+// entries to followers as soon as they are appended in memory, while
+// this loop makes them durable in the background. Appends that arrive
+// while one fsync is in flight coalesce into a single follow-up sync
+// (leader-side group commit), and durableIndex — the leader's own
+// acknowledgement in the commit rule — only advances once the covering
+// fsync completes.
+func (r *Raft) syncLoop(term uint64, done chan struct{}) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-done:
+			return
+		case <-r.syncCh:
+		}
+		for {
+			r.mu.Lock()
+			if r.role != Leader || r.term != term {
+				r.mu.Unlock()
+				return
+			}
+			last, _ := r.lastLogLocked()
+			if r.durableIndex >= last {
+				r.mu.Unlock()
+				break
+			}
 			r.mu.Unlock()
 			r.fsync()
-			r.maybeAdvanceCommit(term) // single-voter groups commit locally
-			kickAll()
+			r.advanceDurable(last)
+			r.maybeAdvanceCommit(term)
 		}
 	}
 }
@@ -257,9 +364,11 @@ func (r *Raft) maybeAdvanceCommit(term uint64) {
 		return
 	}
 	matches := make([]uint64, 0, r.voters)
-	lastIdx, _ := r.lastLogLocked()
 	if !r.cfg.Learner {
-		matches = append(matches, lastIdx)
+		// The leader's own vote is its durable index: with pipelined
+		// replication the log tail may be appended but not yet fsynced,
+		// and those entries must not count toward quorum.
+		matches = append(matches, r.durableIndex)
 	}
 	for id, p := range r.peers {
 		if p.IsLearner() {
@@ -355,10 +464,15 @@ func (r *Raft) handleAppendEntries(term uint64, leader string, prevIdx, prevTerm
 		default:
 		}
 	}
+	newLast := lastIdx
 	curTerm := r.term
 	r.mu.Unlock()
 	if appended {
+		// Followers sync before acking: an ok reply always implies the
+		// appended entries are durable, whether or not the leader
+		// pipelines its own sync.
 		r.fsync()
+		r.advanceDurable(newLast)
 	}
 	return true, curTerm, 0
 }
@@ -402,5 +516,6 @@ func (r *Raft) handleInstallSnapshot(term uint64, leader string, snapIdx, snapTe
 	r.applyCond.Broadcast()
 	r.mu.Unlock()
 	r.fsync()
+	r.advanceDurable(snapIdx)
 	return true, r.term
 }

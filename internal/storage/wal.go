@@ -19,78 +19,186 @@ import (
 // durability *cost* is modelled by SyncCost and the crash/recovery
 // *logic* is real and tested: Shard.Crash discards the B-tree and
 // RecoverShard replays the WAL.
+type stagedBatch struct {
+	seq  uint64
+	muts []Mutation
+}
+
+// walWaiter is one parked committer: its channel is closed when its
+// batch becomes durable, or to hand it sync leadership for the next
+// group.
+type walWaiter struct {
+	seq uint64
+	ch  chan struct{}
+}
+
 type WAL struct {
 	mu      sync.Mutex
-	records [][]Mutation // durable prefix
-	staged  [][]Mutation // appended but not yet synced
+	records [][]Mutation  // durable prefix
+	staged  []stagedBatch // appended but not yet synced
+	waiters []walWaiter   // committers parked behind an in-flight sync
 
 	seq     uint64 // last staged batch number
 	durable uint64 // highest batch number covered by a completed sync
 	syncing bool
+	noGroup bool // group commit disabled: one sync per batch
 
 	syncCost time.Duration
 
-	syncCond  *sync.Cond
-	syncCount atomic.Int64
+	syncCount  atomic.Int64
+	soloSyncs  atomic.Int64 // syncs that covered exactly one batch
+	groupSyncs atomic.Int64 // syncs that covered more than one batch
+	covered    atomic.Int64 // total batches covered by completed syncs
 }
 
-// NewWAL creates a WAL whose syncs cost syncCost each.
+// NewWAL creates a WAL whose syncs cost syncCost each. Group commit is
+// on; SetGroupCommit(false) reverts to one sync per batch.
 func NewWAL(syncCost time.Duration) *WAL {
-	w := &WAL{syncCost: syncCost}
-	w.syncCond = sync.NewCond(&w.mu)
-	return w
+	return &WAL{syncCost: syncCost}
 }
 
-// Commit appends the batch and blocks until it is durable. Concurrent
-// callers group-commit: whichever caller performs the physical sync
-// covers every batch staged before the sync started.
+// SetGroupCommit toggles sync coalescing (on by default). With group
+// commit off every committed batch pays its own physical sync — the
+// unbatched write-path ablation baseline. Toggle before the WAL is
+// shared across goroutines.
+func (w *WAL) SetGroupCommit(on bool) {
+	w.mu.Lock()
+	w.noGroup = !on
+	w.mu.Unlock()
+}
+
+// Commit appends the batch, blocks until it is durable, and returns the
+// batch's sequence number (DurableSeq has reached it by then).
+// Concurrent callers group-commit: whichever caller performs the
+// physical sync covers every batch staged before the sync started, and
+// the others park on a waiter list that is notified per-batch as the
+// durable horizon passes their sequence number.
 //
 // Ownership of muts transfers to the WAL: every caller (transaction
 // commit, relaxed apply) builds its batch fresh per operation, so the
 // log retains the slice directly instead of copying it — one fewer
 // allocation per committed batch on the write hot path. Callers must
 // not mutate the slice after Commit returns.
-func (w *WAL) Commit(muts []Mutation) {
+func (w *WAL) Commit(muts []Mutation) uint64 {
 	if len(muts) == 0 {
-		return
+		return 0
 	}
 	w.mu.Lock()
 	w.seq++
 	mySeq := w.seq
-	w.staged = append(w.staged, muts)
+	w.staged = append(w.staged, stagedBatch{seq: mySeq, muts: muts})
 	for w.durable < mySeq {
 		if w.syncing {
 			// A sync that cannot cover us (it started before we staged)
-			// is in flight; wait for it, then re-check.
-			w.syncCond.Wait()
+			// is in flight; park until our batch is durable or we are
+			// handed sync leadership, then re-check.
+			ch := make(chan struct{})
+			w.waiters = append(w.waiters, walWaiter{seq: mySeq, ch: ch})
+			w.mu.Unlock()
+			<-ch
+			w.mu.Lock()
 			continue
 		}
-		// Become the sync leader for everything staged so far.
-		w.syncing = true
-		batch := w.staged
-		w.staged = nil
-		top := w.seq
-		w.mu.Unlock()
-
-		if w.syncCost > 0 {
-			time.Sleep(w.syncCost)
-		}
-		w.syncCount.Add(1)
-
-		w.mu.Lock()
-		w.records = append(w.records, batch...)
-		w.syncing = false
-		if top > w.durable {
-			w.durable = top
-		}
-		w.syncCond.Broadcast()
+		w.leadSyncLocked()
 	}
 	w.mu.Unlock()
+	return mySeq
+}
+
+// leadSyncLocked performs one physical sync as the sync leader. In
+// group-commit mode the sync covers everything staged so far; with
+// group commit off it covers exactly the oldest staged batch. Called
+// with w.mu held; releases it for the duration of the sync.
+func (w *WAL) leadSyncLocked() {
+	w.syncing = true
+	var batch []stagedBatch
+	if w.noGroup {
+		batch = w.staged[:1:1]
+		w.staged = w.staged[1:]
+	} else {
+		batch = w.staged
+		w.staged = nil
+	}
+	top := batch[len(batch)-1].seq
+	w.mu.Unlock()
+
+	if w.syncCost > 0 {
+		time.Sleep(w.syncCost)
+	}
+	w.syncCount.Add(1)
+	if len(batch) > 1 {
+		w.groupSyncs.Add(1)
+	} else {
+		w.soloSyncs.Add(1)
+	}
+	w.covered.Add(int64(len(batch)))
+
+	w.mu.Lock()
+	for _, b := range batch {
+		w.records = append(w.records, b.muts)
+	}
+	w.syncing = false
+	if top > w.durable {
+		w.durable = top
+	}
+	// Wake every waiter the sync covered. Uncovered waiters stay
+	// parked, except the oldest, which is handed sync leadership so the
+	// next group forms without a thundering herd.
+	keep := w.waiters[:0]
+	handed := false
+	for _, wt := range w.waiters {
+		if wt.seq <= w.durable || !handed {
+			handed = handed || wt.seq > w.durable
+			close(wt.ch)
+			continue
+		}
+		keep = append(keep, wt)
+	}
+	for i := len(keep); i < len(w.waiters); i++ {
+		w.waiters[i] = walWaiter{}
+	}
+	w.waiters = keep
 }
 
 // Syncs returns the number of physical syncs performed (group-commit
 // effectiveness metric).
 func (w *WAL) Syncs() int64 { return w.syncCount.Load() }
+
+// DurableSeq returns the highest batch sequence number covered by a
+// completed sync.
+func (w *WAL) DurableSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// WALStats is a snapshot of a WAL's sync accounting. Syncs always
+// equals SoloSyncs+GroupSyncs, and Covered counts the batches those
+// syncs made durable — the group-commit fan-in is Covered/Syncs.
+type WALStats struct {
+	Syncs      int64
+	SoloSyncs  int64
+	GroupSyncs int64
+	Covered    int64
+}
+
+// Stats snapshots the sync accounting.
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Syncs:      w.syncCount.Load(),
+		SoloSyncs:  w.soloSyncs.Load(),
+		GroupSyncs: w.groupSyncs.Load(),
+		Covered:    w.covered.Load(),
+	}
+}
+
+// Add accumulates o into s (cross-shard aggregation).
+func (s *WALStats) Add(o WALStats) {
+	s.Syncs += o.Syncs
+	s.SoloSyncs += o.SoloSyncs
+	s.GroupSyncs += o.GroupSyncs
+	s.Covered += o.Covered
+}
 
 // Batches returns the number of durable mutation batches.
 func (w *WAL) Batches() int {
@@ -117,6 +225,14 @@ func (s *Shard) AttachWAL(w *WAL) {
 	s.mu.Lock()
 	s.wal = w
 	s.mu.Unlock()
+}
+
+// WAL returns the shard's write-ahead log, or nil when logging is
+// disabled.
+func (s *Shard) WAL() *WAL {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal
 }
 
 // Crash simulates a crash-stop: the in-memory B-tree and all volatile

@@ -101,6 +101,17 @@ type Config struct {
 	// the WAL (the simulated-performance experiments model durability
 	// costs in the Raft layer instead).
 	WALSyncCost time.Duration
+	// WALNoGroupCommit disables WAL sync coalescing, so every committed
+	// batch pays its own sync — the unbatched write-path ablation
+	// baseline.
+	WALNoGroupCommit bool
+	// Batch2PC routes cross-shard transactions through a batching 2PC
+	// coordinator: independent transactions with the same participant
+	// set share one prepare round and one commit round.
+	Batch2PC bool
+	// Batch2PCMax bounds transactions folded into one shared round
+	// (default 64).
+	Batch2PCMax int
 	// MaxRetries bounds transaction retries per operation.
 	MaxRetries int
 	// RetryBase/RetryMax shape the retry backoff.
@@ -141,8 +152,9 @@ func (c Config) withDefaults() Config {
 // DB is a TafDB instance: a set of shards plus the delta-record machinery.
 // One DB is shared by all namespaces (§4).
 type DB struct {
-	cfg   Config
-	parts []*txn.Participant
+	cfg    Config
+	parts  []*txn.Participant
+	runner txn.Runner
 
 	nextID  atomic.Uint64
 	txnSeq  atomic.Uint64
@@ -171,10 +183,16 @@ func New(cfg Config) *DB {
 		stopCh:    make(chan struct{}),
 	}
 	db.nextID.Store(uint64(types.RootID))
+	db.runner = txn.Direct{}
+	if cfg.Batch2PC {
+		db.runner = txn.NewBatcher(cfg.Batch2PCMax)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		shard := storage.NewShard(fmt.Sprintf("tafdb-%d", i))
 		if cfg.WALSyncCost > 0 {
-			shard.AttachWAL(storage.NewWAL(cfg.WALSyncCost))
+			w := storage.NewWAL(cfg.WALSyncCost)
+			w.SetGroupCommit(!cfg.WALNoGroupCommit)
+			shard.AttachWAL(w)
 		}
 		db.parts = append(db.parts, &txn.Participant{
 			Shard: shard,
@@ -413,11 +431,36 @@ func (db *DB) runTxn(op *rpc.Op, contendedDir types.InodeID, build func(attempt 
 		}
 		return build(attempt)
 	}
-	retries, err := txn.RunWithRetry(op, db.newTxnID(), db.cfg.MaxRetries,
+	if db.cfg.Batch2PC {
+		sp.SetAttr("2pc", "batched")
+	}
+	retries, err := txn.RunnerWithRetry(db.runner, op, db.newTxnID(), db.cfg.MaxRetries,
 		db.cfg.RetryBase, db.cfg.RetryMax, wrapped)
 	db.txnLat.Observe(time.Since(start))
 	sp.End()
 	return retries, err
+}
+
+// WALStats aggregates the sync accounting across every shard's WAL
+// (zero when the WAL is disabled).
+func (db *DB) WALStats() storage.WALStats {
+	var out storage.WALStats
+	for _, p := range db.parts {
+		if w := p.Shard.WAL(); w != nil {
+			out.Add(w.Stats())
+		}
+	}
+	return out
+}
+
+// Batch2PCStats reports the batched-2PC coordinator's accounting:
+// cross-shard transactions coordinated, transactions that shared their
+// rounds, and round pairs executed. All zero with batching off.
+func (db *DB) Batch2PCStats() (txns, batched, rounds int64) {
+	if b, ok := db.runner.(*txn.Batcher); ok {
+		return b.Stats()
+	}
+	return 0, 0, 0
 }
 
 // TxnLatency returns the DB-wide transaction-commit latency histogram

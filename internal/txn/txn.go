@@ -148,6 +148,13 @@ func Backoff(attempt int, base, max time.Duration) {
 // retry count consumed is returned.
 func RunWithRetry(op *rpc.Op, txnID string, maxRetries int, base, maxBackoff time.Duration,
 	build func(attempt int) ([]Piece, error)) (int, error) {
+	return RunnerWithRetry(Direct{}, op, txnID, maxRetries, base, maxBackoff, build)
+}
+
+// RunnerWithRetry is RunWithRetry executing each attempt through r, so
+// callers can route transactions through a batching coordinator.
+func RunnerWithRetry(r Runner, op *rpc.Op, txnID string, maxRetries int, base, maxBackoff time.Duration,
+	build func(attempt int) ([]Piece, error)) (int, error) {
 
 	var lastErr error
 	for attempt := 0; attempt <= maxRetries; attempt++ {
@@ -155,7 +162,7 @@ func RunWithRetry(op *rpc.Op, txnID string, maxRetries int, base, maxBackoff tim
 		if err != nil {
 			return attempt, err
 		}
-		err = Run(op, fmt.Sprintf("%s#%d", txnID, attempt), pieces)
+		err = r.Run(op, fmt.Sprintf("%s#%d", txnID, attempt), pieces)
 		if err == nil {
 			return attempt, nil
 		}

@@ -62,6 +62,18 @@ type Config struct {
 	// TopDirPathCache (the paper's Figure 20 configuration; off by
 	// default, as in the paper's design).
 	ProxyCache bool
+	// FsyncCost simulates the IndexNode Raft log's per-sync disk
+	// latency (0 = no disk model; the paper's experiments use 400µs).
+	FsyncCost time.Duration
+	// WALSyncCost, when positive, attaches a write-ahead log with the
+	// given per-sync latency to every TafDB shard (group commit +
+	// crash recovery by replay).
+	WALSyncCost time.Duration
+	// DisableWriteBatch turns off write-path batching at every layer —
+	// raft log batching and pipelining, WAL group commit, and batched
+	// cross-shard 2PC — the "Mantle-base" side of the Figure 16
+	// ablation. Batching is on by default.
+	DisableWriteBatch bool
 }
 
 // Cluster is a running Mantle deployment for one namespace.
@@ -95,8 +107,11 @@ func New(cfg Config) (*Cluster, error) {
 		Fabric:     netsim.NewFabric(netsim.Config{RTT: cfg.RTT}),
 		ProxyCache: cfg.ProxyCache,
 		TafDB: tafdb.Config{
-			Shards: cfg.Shards,
-			Delta:  delta,
+			Shards:           cfg.Shards,
+			Delta:            delta,
+			WALSyncCost:      cfg.WALSyncCost,
+			WALNoGroupCommit: cfg.DisableWriteBatch,
+			Batch2PC:         !cfg.DisableWriteBatch,
 		},
 		Index: indexnode.Config{
 			Voters:       cfg.Replicas,
@@ -104,7 +119,9 @@ func New(cfg Config) (*Cluster, error) {
 			K:            cfg.K,
 			CacheEnabled: !cfg.DisableCache,
 			FollowerRead: cfg.FollowerRead,
-			BatchEnabled: true,
+			FsyncCost:    cfg.FsyncCost,
+			BatchEnabled: !cfg.DisableWriteBatch,
+			Pipeline:     !cfg.DisableWriteBatch,
 		},
 	})
 	if err != nil {
