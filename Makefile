@@ -12,7 +12,7 @@ BENCH     ?= .
 BENCHTIME ?= 400ms
 CPUS      ?= 1,4
 
-.PHONY: all build test test-race fmt vet chaos bench bench-json bench-pr6 clean
+.PHONY: all build test test-race fmt vet chaos bench bench-json bench-pr6 heat-report bench-hotstat clean
 
 all: build
 
@@ -75,6 +75,22 @@ bench-pr6:
 	$(GO) run ./cmd/benchjson ablation=bench-ablation.txt batch-on-1x=bench-write-1x.txt > BENCH_PR6.json
 	@rm -f bench-ablation.txt bench-write-1x.txt
 	@echo "wrote BENCH_PR6.json"
+
+# Run the Zipfian heat experiment and print the cluster heat-plane
+# report (hot dirs per layer, per-shard load table, slow-op captures).
+heat-report:
+	$(GO) run ./cmd/experiments -run heat -heat-out /dev/stdout
+
+# The hot-stat allocation gate exactly as the perf-smoke CI lane runs
+# it: allocs/op vs the committed hot-stat-2000x baseline, budget +1.
+bench-hotstat:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotStatParallel$$' -benchmem -benchtime=2000x -cpu 4 . | tee bench-hotstat.txt
+	$(GO) run ./cmd/benchjson hot-stat-2000x=bench-hotstat.txt > bench-hotstat.json
+	$(GO) run ./cmd/benchgate \
+		-baseline BENCH_PR6.json -baseline-run hot-stat-2000x \
+		-candidate bench-hotstat.json -candidate-run hot-stat-2000x \
+		-metric allocs/op -match 'HotStatParallel' -rel 0 -abs 1
+	@rm -f bench-hotstat.txt bench-hotstat.json
 
 clean:
 	$(GO) clean ./...

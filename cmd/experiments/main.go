@@ -30,6 +30,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "tiny smoke-test scale")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		metrics = flag.String("metrics-out", "", "file receiving per-system metrics dumps (tail latencies, RPC counters, fabric edges)")
+		heatOut = flag.String("heat-out", "", "file receiving the heat experiment's full heat-plane report")
 	)
 	flag.Parse()
 
@@ -64,6 +65,15 @@ func main() {
 		}
 		defer f.Close()
 		p.MetricsOut = f
+	}
+	if *heatOut != "" {
+		f, err := os.Create(*heatOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		p.HeatOut = f
 	}
 	if err := experiments.Run(ids, p); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

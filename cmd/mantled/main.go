@@ -76,11 +76,30 @@ func main() {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		core := cl.Core()
+		if r.URL.Query().Get("format") == "prometheus" {
+			// Prometheus text exposition: counters/gauges as untyped
+			// samples, latency histograms as cumulative histogram series.
+			_ = core.Metrics().WritePrometheus(w)
+			return
+		}
 		_ = core.Metrics().Write(w)
+		_ = core.WriteHeatMetrics(w)
 		_ = core.Caller().Fabric().WriteMetrics(w)
 		for _, n := range core.Index().Nodes() {
 			_ = n.WriteMetrics(w)
 		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		core := cl.Core()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain")
+			core.WriteStatus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(core.Status())
 	})
 	mux.HandleFunc("/trace", s.traceOp)
 	if *pprofOn {

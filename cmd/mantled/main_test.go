@@ -161,6 +161,110 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+func TestStatusAndPrometheusEndpoints(t *testing.T) {
+	cl, err := mantle.New(mantle.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	s := &server{cl: cl}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ns/", s.handle)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		core := cl.Core()
+		if r.URL.Query().Get("format") == "prometheus" {
+			_ = core.Metrics().WritePrometheus(w)
+			return
+		}
+		_ = core.Metrics().Write(w)
+		_ = core.WriteHeatMetrics(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		core := cl.Core()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain")
+			core.WriteStatus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(core.Status())
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	do(t, http.MethodPost, ts.URL+"/ns/hot?op=mkdir", "")
+	for i := 0; i < 20; i++ {
+		do(t, http.MethodGet, ts.URL+"/ns/hot?dir=1", "")
+	}
+
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Proxy struct {
+			HotDirs []struct {
+				Key   string `json:"key"`
+				Count int64  `json:"count"`
+			} `json:"hot_dirs"`
+		} `json:"proxy"`
+		Shards []struct {
+			Reads int64 `json:"reads"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Proxy.HotDirs) == 0 || st.Proxy.HotDirs[0].Key != "/hot" {
+		t.Fatalf("status hot dirs = %+v, want /hot first", st.Proxy.HotDirs)
+	}
+	var reads int64
+	for _, sh := range st.Shards {
+		reads += sh.Reads
+	}
+	if len(st.Shards) != 2 || reads == 0 {
+		t.Fatalf("status shards = %+v", st.Shards)
+	}
+
+	resp2, err := http.Get(ts.URL + "/status?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	text, _ := io.ReadAll(resp2.Body)
+	for _, want := range []string{"== proxy ==", "/hot", "== tafdb =="} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("text status missing %q:\n%s", want, text)
+		}
+	}
+
+	resp3, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	prom, _ := io.ReadAll(resp3.Body)
+	for _, want := range []string{"# TYPE latency_dirstat histogram", "latency_dirstat_bucket{le=\"+Inf\"}", "ops_mkdir 1"} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, prom)
+		}
+	}
+
+	resp4, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	plain, _ := io.ReadAll(resp4.Body)
+	for _, want := range []string{"heat_proxy_dir{/hot}", "heat_slowop_sampled"} {
+		if !strings.Contains(string(plain), want) {
+			t.Fatalf("text metrics missing heat section %q:\n%s", want, plain)
+		}
+	}
+}
+
 func TestGatewayPagination(t *testing.T) {
 	ts := newTestServer(t)
 	base := ts.URL + "/ns"

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -38,6 +39,7 @@ func main() {
 		rtt      = flag.Duration("rtt", 200*time.Microsecond, "simulated per-RPC round trip")
 		dumpM    = flag.Bool("dump-metrics", false, "print the system's metrics registry and fabric edge stats after the run")
 		doTrace  = flag.Bool("trace", false, "run one traced lookup after the benchmark and print its span tree")
+		heatRep  = flag.Bool("heat-report", false, "print the system's heat-plane report after the run (mantle only)")
 	)
 	flag.Parse()
 
@@ -144,6 +146,14 @@ func main() {
 	if *dumpM {
 		fmt.Println("\nmetrics:")
 		experiments.DumpSystem(os.Stdout, *system, s)
+	}
+	if *heatRep {
+		if hr, ok := s.(interface{ WriteHeatReport(io.Writer) }); ok {
+			fmt.Println("\nheat report:")
+			hr.WriteHeatReport(os.Stdout)
+		} else {
+			fmt.Fprintf(os.Stderr, "mdtest: -heat-report: %s exposes no heat plane\n", *system)
+		}
 	}
 }
 

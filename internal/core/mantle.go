@@ -29,6 +29,7 @@ import (
 
 	"mantle/internal/api"
 	"mantle/internal/faults"
+	"mantle/internal/heat"
 	"mantle/internal/indexnode"
 	"mantle/internal/metrics"
 	"mantle/internal/netsim"
@@ -60,6 +61,44 @@ type Config struct {
 	RenameRetries int
 	// RetryBase/RetryMax shape rename retry backoff.
 	RetryBase, RetryMax time.Duration
+	// Heat parameterises the heat plane (sketches, op sampling, flight
+	// recorder). The zero value gets production defaults.
+	Heat HeatConfig
+}
+
+// HeatConfig parameterises the proxy's heat plane.
+type HeatConfig struct {
+	// TopK bounds the tracked keys in each heavy-hitter sketch
+	// (default 32).
+	TopK int
+	// SampleEvery head-samples one in N operations into a trace that is
+	// offered to the slow-op flight recorder on completion, amortising
+	// per-trace allocation cost below one alloc per op (default 64;
+	// negative disables sampling entirely).
+	SampleEvery int
+	// MinCount is the per-op observation floor before the recorder
+	// trusts the op's p99 as a slowness threshold (default 128).
+	MinCount int64
+	// RecorderSize is the flight-recorder ring capacity (default 64).
+	RecorderSize int
+}
+
+func (h HeatConfig) withDefaults() HeatConfig {
+	if h.TopK <= 0 {
+		h.TopK = 32
+	}
+	if h.SampleEvery == 0 {
+		h.SampleEvery = 64
+	} else if h.SampleEvery < 0 {
+		h.SampleEvery = 0
+	}
+	if h.MinCount <= 0 {
+		h.MinCount = 128
+	}
+	if h.RecorderSize <= 0 {
+		h.RecorderSize = 64
+	}
+	return h
 }
 
 // Mantle is one namespace's metadata service handle. It implements
@@ -85,12 +124,23 @@ type Mantle struct {
 	// coalescedRPC counts proxy-cache misses that shared another miss's
 	// in-flight IndexNode RPC instead of issuing their own.
 	coalescedRPC *metrics.Counter
+
+	// Heat plane: the proxy-side hot-directory and cache-miss sketches,
+	// the service-wide op rate, and the slow-op flight recorder.
+	heatCfg  HeatConfig
+	dirHeat  *heat.TopK[string]
+	missHeat *heat.TopK[string]
+	opRate   *heat.Rate
+	recorder *trace.FlightRecorder
 }
 
 // opMetrics bundles one operation's counters and latency histogram.
+// tick drives head-sampling into the flight recorder (one trace every
+// SampleEvery calls of this op).
 type opMetrics struct {
 	ops, errors, retries *metrics.Counter
 	latency              *metrics.Latency
+	tick                 atomic.Uint64
 }
 
 var _ api.Service = (*Mantle)(nil)
@@ -146,6 +196,11 @@ func NewWithDB(cfg Config, db *tafdb.DB) (*Mantle, error) {
 	if cfg.ProxyCache {
 		m.pcache = newProxyCache()
 	}
+	m.heatCfg = cfg.Heat.withDefaults()
+	m.dirHeat = heat.NewTopK[string](m.heatCfg.TopK)
+	m.missHeat = heat.NewTopK[string](m.heatCfg.TopK)
+	m.opRate = heat.NewRate(0)
+	m.recorder = trace.NewFlightRecorder(m.heatCfg.RecorderSize)
 	m.ops = make(map[string]*opMetrics, len(opNames))
 	for _, op := range opNames {
 		m.ops[op] = &opMetrics{
@@ -239,17 +294,48 @@ var opNames = []string{
 	"mkdir", "rmdir", "dirrename", "setperm", "readdirpage",
 }
 
-// record accounts one completed operation.
-func (m *Mantle) record(op string, res types.Result, err error) {
+// sampleOp head-samples one in every SampleEvery calls of the named
+// operation into a fresh trace, returning the op re-bound to the trace
+// context. Unsampled calls (and calls already carrying a caller trace)
+// pass through untouched, keeping the hot path allocation-free.
+func (m *Mantle) sampleOp(op *rpc.Op, name string) (*rpc.Op, *trace.Trace) {
+	every := uint64(m.heatCfg.SampleEvery)
+	if every == 0 || trace.FromContext(op.Context()) != nil {
+		return op, nil
+	}
+	om := m.ops[name]
+	if om.tick.Add(1)%every != 0 {
+		return op, nil
+	}
+	tr, ctx := trace.New(name)
+	return op.WithContext(ctx), tr
+}
+
+// record accounts one completed operation. A sampled trace is finished
+// here and offered to the flight recorder against the op's live p99 —
+// tail sampling: only spans of ops slower than their own distribution's
+// tail are retained.
+func (m *Mantle) record(op string, tr *trace.Trace, res types.Result, err error) {
 	om := m.ops[op]
 	om.ops.Inc()
+	m.opRate.Add(1)
 	if err != nil {
+		if tr != nil {
+			tr.Finish()
+		}
 		om.errors.Inc()
 		return
 	}
-	om.latency.Observe(res.Phases.Total())
+	d := res.Phases.Total()
+	om.latency.Observe(d)
 	if res.Retries > 0 {
 		om.retries.Add(int64(res.Retries))
+	}
+	if tr != nil {
+		tr.Finish()
+		if om.latency.Count() >= m.heatCfg.MinCount {
+			m.recorder.Offer(op, tr, d, om.latency.Quantile(0.99))
+		}
 	}
 }
 
@@ -272,6 +358,7 @@ func (m *Mantle) lookup(op *rpc.Op, dirPath string) (indexnode.LookupResult, err
 		m.resolveLatency.Observe(time.Since(start))
 		sp.End()
 	}()
+	m.dirHeat.Record(dirPath)
 	if m.pcache == nil {
 		res, err := m.idx.Lookup(op.WithContext(ctx), dirPath)
 		if err == nil {
@@ -289,6 +376,7 @@ func (m *Mantle) lookup(op *rpc.Op, dirPath string) (indexnode.LookupResult, err
 	}
 	epoch0 := m.pcache.epoch.Load()
 	res, err, shared := m.pcache.flight.Do(pcFlightKey{path, epoch0}, func() (indexnode.LookupResult, error) {
+		m.missHeat.Record(path)
 		res, err := m.idx.Lookup(op.WithContext(ctx), path)
 		if err == nil {
 			m.pcache.put(path, res, epoch0)
@@ -334,7 +422,8 @@ func (m *Mantle) newUUID() string {
 
 // Lookup implements api.Service: a single-RPC path resolution.
 func (m *Mantle) Lookup(op *rpc.Op, dirPath string) (res types.Result, err error) {
-	defer func() { m.record("lookup", res, err) }()
+	op, tr := m.sampleOp(op, "lookup")
+	defer func() { m.record("lookup", tr, res, err) }()
 	t := api.NewTimer()
 	lres, lerr := m.lookup(op, dirPath)
 	t.Phase(types.PhaseLookup)
@@ -348,7 +437,8 @@ func (m *Mantle) Lookup(op *rpc.Op, dirPath string) (res types.Result, err error
 
 // Create implements api.Service.
 func (m *Mantle) Create(op *rpc.Op, objPath string, size int64) (res types.Result, err error) {
-	defer func() { m.record("create", res, err) }()
+	op, tr := m.sampleOp(op, "create")
+	defer func() { m.record("create", tr, res, err) }()
 	dir, name := pathutil.Dir(objPath), pathutil.Base(objPath)
 	t := api.NewTimer()
 	lres, err := m.lookup(op, dir)
@@ -366,7 +456,8 @@ func (m *Mantle) Create(op *rpc.Op, objPath string, size int64) (res types.Resul
 
 // Delete implements api.Service.
 func (m *Mantle) Delete(op *rpc.Op, objPath string) (res types.Result, err error) {
-	defer func() { m.record("delete", res, err) }()
+	op, tr := m.sampleOp(op, "delete")
+	defer func() { m.record("delete", tr, res, err) }()
 	dir, name := pathutil.Dir(objPath), pathutil.Base(objPath)
 	t := api.NewTimer()
 	lres, err := m.lookup(op, dir)
@@ -384,7 +475,8 @@ func (m *Mantle) Delete(op *rpc.Op, objPath string) (res types.Result, err error
 
 // ObjStat implements api.Service.
 func (m *Mantle) ObjStat(op *rpc.Op, objPath string) (res types.Result, err error) {
-	defer func() { m.record("objstat", res, err) }()
+	op, tr := m.sampleOp(op, "objstat")
+	defer func() { m.record("objstat", tr, res, err) }()
 	dir, name := pathutil.Dir(objPath), pathutil.Base(objPath)
 	t := api.NewTimer()
 	lres, err := m.lookup(op, dir)
@@ -402,7 +494,8 @@ func (m *Mantle) ObjStat(op *rpc.Op, objPath string) (res types.Result, err erro
 
 // DirStat implements api.Service.
 func (m *Mantle) DirStat(op *rpc.Op, dirPath string) (res types.Result, err error) {
-	defer func() { m.record("dirstat", res, err) }()
+	op, tr := m.sampleOp(op, "dirstat")
+	defer func() { m.record("dirstat", tr, res, err) }()
 	t := api.NewTimer()
 	lres, err := m.lookup(op, dirPath)
 	t.Phase(types.PhaseLookup)
@@ -416,7 +509,8 @@ func (m *Mantle) DirStat(op *rpc.Op, dirPath string) (res types.Result, err erro
 
 // ReadDir implements api.Service.
 func (m *Mantle) ReadDir(op *rpc.Op, dirPath string) (res types.Result, entries []types.Entry, err error) {
-	defer func() { m.record("readdir", res, err) }()
+	op, tr := m.sampleOp(op, "readdir")
+	defer func() { m.record("readdir", tr, res, err) }()
 	t := api.NewTimer()
 	lres, err := m.lookup(op, dirPath)
 	t.Phase(types.PhaseLookup)
@@ -434,7 +528,8 @@ func (m *Mantle) ReadDir(op *rpc.Op, dirPath string) (res types.Result, entries 
 // Mkdir implements api.Service: TafDB transaction, then the replicated
 // IndexNode access-metadata insert.
 func (m *Mantle) Mkdir(op *rpc.Op, dirPath string) (res types.Result, err error) {
-	defer func() { m.record("mkdir", res, err) }()
+	op, tr := m.sampleOp(op, "mkdir")
+	defer func() { m.record("mkdir", tr, res, err) }()
 	parent, name := pathutil.Dir(dirPath), pathutil.Base(dirPath)
 	t := api.NewTimer()
 	lres, err := m.lookup(op, parent)
@@ -451,7 +546,7 @@ func (m *Mantle) Mkdir(op *rpc.Op, dirPath string) (res types.Result, err error)
 		t.Phase(types.PhaseExecute)
 		return t.Done(op, retries, types.Entry{}), err
 	}
-	err = m.idx.AddDir(op, lres.ID, name, id, types.PermAll)
+	err = m.idx.AddDir(op, lres.ID, name, id, types.PermAll, parent)
 	if errors.Is(err, types.ErrUnavailable) {
 		// The IndexNode group cannot commit (no quorum). Compensate the
 		// already-committed TafDB insert so the failed mkdir leaves no
@@ -464,7 +559,8 @@ func (m *Mantle) Mkdir(op *rpc.Op, dirPath string) (res types.Result, err error)
 
 // Rmdir implements api.Service.
 func (m *Mantle) Rmdir(op *rpc.Op, dirPath string) (res types.Result, err error) {
-	defer func() { m.record("rmdir", res, err) }()
+	op, tr := m.sampleOp(op, "rmdir")
+	defer func() { m.record("rmdir", tr, res, err) }()
 	name := pathutil.Base(dirPath)
 	t := api.NewTimer()
 	lres, err := m.lookup(op, dirPath)
@@ -501,7 +597,8 @@ func (m *Mantle) invalidate(op *rpc.Op, path string) {
 // as zero and the PrepareRename RPC is charged to the loop-detection
 // phase.
 func (m *Mantle) DirRename(op *rpc.Op, srcPath, dstPath string) (res types.Result, err error) {
-	defer func() { m.record("dirrename", res, err) }()
+	op, tr := m.sampleOp(op, "dirrename")
+	defer func() { m.record("dirrename", tr, res, err) }()
 	dstParent, dstName := pathutil.Dir(dstPath), pathutil.Base(dstPath)
 	uuid := m.newUUID()
 	t := api.NewTimer()
@@ -542,7 +639,8 @@ func (m *Mantle) DirRename(op *rpc.Op, srcPath, dstPath string) (res types.Resul
 // replicated IndexNode entry (which invalidates affected cache ranges on
 // every replica).
 func (m *Mantle) SetPerm(op *rpc.Op, dirPath string, perm types.Perm) (res types.Result, err error) {
-	defer func() { m.record("setperm", res, err) }()
+	op, tr := m.sampleOp(op, "setperm")
+	defer func() { m.record("setperm", tr, res, err) }()
 	t := api.NewTimer()
 	lres, err := m.lookup(op, dirPath)
 	t.Phase(types.PhaseLookup)
@@ -599,7 +697,8 @@ func (m *Mantle) Populate(dirs []api.PopDir, objects []api.PopObject) error {
 // ReadDirPage implements paginated listing: up to limit entries with
 // names after startAfter, plus the continuation token for the next page.
 func (m *Mantle) ReadDirPage(op *rpc.Op, dirPath, startAfter string, limit int) (res types.Result, entries []types.Entry, next string, err error) {
-	defer func() { m.record("readdirpage", res, err) }()
+	op, tr := m.sampleOp(op, "readdirpage")
+	defer func() { m.record("readdirpage", tr, res, err) }()
 	t := api.NewTimer()
 	lres, err := m.lookup(op, dirPath)
 	t.Phase(types.PhaseLookup)

@@ -53,6 +53,9 @@ type Params struct {
 	// (metrics registry, RPC counters, fabric edge registry) after each
 	// system finishes its measurement.
 	MetricsOut io.Writer
+	// HeatOut, when non-nil, receives the full heat-plane report from
+	// the "heat" experiment (hot dirs, shard loads, slow-op captures).
+	HeatOut io.Writer
 }
 
 // WithDefaults fills unset fields.

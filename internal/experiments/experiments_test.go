@@ -23,6 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig4a", "fig4b", "tab1", "tab2",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19a", "fig19b", "fig20", "tab3",
+		"heat",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -95,4 +96,26 @@ func TestFig20Quick(t *testing.T) {
 }
 func TestTable3Quick(t *testing.T) {
 	runQuick(t, "tab3", "Table 3", "C1", "peak lookup")
+}
+
+func TestHeatQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heat: experiment smoke tests are the long lane (make chaos)")
+	}
+	var buf, report bytes.Buffer
+	p := quickParams(&buf)
+	p.HeatOut = &report
+	if err := Registry["heat"](p); err != nil {
+		t.Fatalf("heat: %v\noutput so far:\n%s", err, buf.String())
+	}
+	for _, w := range []string{"zipf objstat", "hottest dir", "slow ops"} {
+		if !strings.Contains(buf.String(), w) {
+			t.Fatalf("heat output missing %q:\n%s", w, buf.String())
+		}
+	}
+	for _, w := range []string{"== proxy ==", "== tafdb ==", "shard"} {
+		if !strings.Contains(report.String(), w) {
+			t.Fatalf("heat report missing %q:\n%s", w, report.String())
+		}
+	}
 }

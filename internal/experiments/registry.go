@@ -30,6 +30,7 @@ var Registry = map[string]Func{
 	"fig19b": Fig19b,
 	"fig20":  Fig20,
 	"tab3":   Table3,
+	"heat":   Heat,
 }
 
 // All returns the experiment ids in a stable order.

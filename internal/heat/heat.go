@@ -1,0 +1,211 @@
+// Package heat is the hotspot-telemetry toolkit of the metadata path:
+// a concurrency-safe space-saving top-K sketch (heavy hitters with
+// per-item error bounds) and a windowed EWMA rate tracker, with the
+// repo's flat "name value" text exposition. The proxy, IndexNode, and
+// TafDB layers each keep a sketch of their hottest directories and a
+// rate of their op stream; the future split/migration machinery (the
+// ROADMAP's elastic hotspot management item) reads these to decide
+// what to move, and /status renders them live.
+//
+// The sketch is Metwally's space-saving algorithm: at most k keys are
+// tracked; an untracked key evicts the current minimum and inherits its
+// count (recorded as the new key's error bound), so for every reported
+// item the true frequency lies in [Count-Err, Count], and any key whose
+// true count exceeds the smallest tracked count is guaranteed present.
+//
+// Hot-path cost: recording a tracked key is a read-locked map probe
+// plus one atomic add — no allocation — so instrumented operations stay
+// inside the ~3 allocs/op hot-stat budget. Only the first sighting of
+// an untracked key takes the write lock and allocates its cell.
+package heat
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cell is one tracked key's counter. count is atomic so read-locked
+// recorders can bump it concurrently; err is written only under the
+// sketch's write lock (at insert/evict) and read under either lock.
+type cell struct {
+	count atomic.Int64
+	err   int64
+}
+
+// TopK is a space-saving heavy-hitter sketch over keys of any
+// comparable type (string paths at the proxy and IndexNode, inode IDs
+// at TafDB — an ID key avoids formatting allocations on the shard hot
+// path). Safe for concurrent use. Counts are cumulative since creation
+// (or the last Reset).
+type TopK[K comparable] struct {
+	k  int
+	mu sync.RWMutex
+	m  map[K]*cell
+}
+
+// NewTopK creates a sketch tracking at most k keys (minimum 1).
+func NewTopK[K comparable](k int) *TopK[K] {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK[K]{k: k, m: make(map[K]*cell, k)}
+}
+
+// K returns the sketch capacity.
+func (t *TopK[K]) K() int { return t.k }
+
+// Record counts one occurrence of key.
+func (t *TopK[K]) Record(key K) { t.RecordN(key, 1) }
+
+// RecordN counts n occurrences of key. Tracked keys pay a read-locked
+// map probe and one atomic add; untracked keys take the write lock and
+// either occupy a free slot or evict the current minimum, inheriting
+// its count as their error bound (the space-saving rule).
+func (t *TopK[K]) RecordN(key K, n int64) {
+	if n <= 0 {
+		return
+	}
+	t.mu.RLock()
+	if c, ok := t.m[key]; ok {
+		c.count.Add(n)
+		t.mu.RUnlock()
+		return
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.m[key]; ok { // raced with another inserter
+		c.count.Add(n)
+		return
+	}
+	if len(t.m) < t.k {
+		c := &cell{}
+		c.count.Store(n)
+		t.m[key] = c
+		return
+	}
+	// Evict the minimum-count key; the newcomer inherits its count as
+	// an overestimate bound. O(k) scan — k is small (tens), and this
+	// path only runs on first sightings once the sketch is full.
+	var minKey K
+	minCount := int64(math.MaxInt64)
+	for k2, c := range t.m {
+		if v := c.count.Load(); v < minCount {
+			minCount, minKey = v, k2
+		}
+	}
+	delete(t.m, minKey)
+	c := &cell{err: minCount}
+	c.count.Store(minCount + n)
+	t.m[key] = c
+}
+
+// Item is one reported heavy hitter. Count overestimates the key's true
+// frequency by at most Err: the true count lies in [Count-Err, Count].
+type Item[K comparable] struct {
+	Key   K     `json:"key"`
+	Count int64 `json:"count"`
+	Err   int64 `json:"err"`
+}
+
+// Snapshot returns the tracked keys sorted by descending count.
+func (t *TopK[K]) Snapshot() []Item[K] {
+	t.mu.RLock()
+	out := make([]Item[K], 0, len(t.m))
+	for k2, c := range t.m {
+		out = append(out, Item[K]{Key: k2, Count: c.count.Load(), Err: c.err})
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Len returns the number of tracked keys.
+func (t *TopK[K]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// Reset clears the sketch.
+func (t *TopK[K]) Reset() {
+	t.mu.Lock()
+	t.m = make(map[K]*cell, t.k)
+	t.mu.Unlock()
+}
+
+// WriteTopK renders a sketch in the flat exposition format used by
+// metrics.Registry: one "name{key} count" line per tracked item in
+// descending count order, keys rendered by format.
+func WriteTopK[K comparable](w io.Writer, name string, t *TopK[K], format func(K) string) error {
+	for _, it := range t.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", name, format(it.Key), it.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rate tracks an exponentially weighted moving average of an event
+// rate. Add is one atomic increment; the EWMA folds lazily at read
+// time, decaying with the configured half-life, so idle trackers cost
+// nothing and hot paths never take the fold lock.
+type Rate struct {
+	halfLife time.Duration
+	events   atomic.Int64 // events since the last fold
+	total    atomic.Int64
+
+	mu   sync.Mutex
+	last time.Time
+	ewma float64 // events per second
+}
+
+// minFold is the shortest window folded into the EWMA; reads inside it
+// return the previous estimate instead of dividing by a tiny dt.
+const minFold = 10 * time.Millisecond
+
+// NewRate creates a tracker whose estimate decays with the given
+// half-life (default 10s when non-positive).
+func NewRate(halfLife time.Duration) *Rate {
+	if halfLife <= 0 {
+		halfLife = 10 * time.Second
+	}
+	return &Rate{halfLife: halfLife, last: time.Now()}
+}
+
+// Add records n events (one atomic add; n ≤ 0 records nothing).
+func (r *Rate) Add(n int64) {
+	if n <= 0 {
+		return
+	}
+	r.events.Add(n)
+	r.total.Add(n)
+}
+
+// Total returns the cumulative event count.
+func (r *Rate) Total() int64 { return r.total.Load() }
+
+// PerSecond returns the current EWMA rate in events per second.
+func (r *Rate) PerSecond() float64 { return r.foldAt(time.Now()) }
+
+// foldAt folds events accumulated since the last fold into the EWMA
+// with weight 1-2^(-dt/halfLife) (split out for deterministic tests).
+func (r *Rate) foldAt(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dt := now.Sub(r.last)
+	if dt < minFold {
+		return r.ewma
+	}
+	inst := float64(r.events.Swap(0)) / dt.Seconds()
+	w := 1 - math.Exp2(-dt.Seconds()/r.halfLife.Seconds())
+	r.ewma += w * (inst - r.ewma)
+	r.last = now
+	return r.ewma
+}

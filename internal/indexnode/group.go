@@ -6,8 +6,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mantle/internal/heat"
 	"mantle/internal/metrics"
 	"mantle/internal/netsim"
+	"mantle/internal/pathutil"
 	"mantle/internal/raft"
 	"mantle/internal/rpc"
 	"mantle/internal/trace"
@@ -131,6 +133,55 @@ type Group struct {
 	// proposeLat is shared by every replica's raft config, giving one
 	// group-wide raft-propose latency distribution.
 	proposeLat *metrics.Latency
+
+	// Heat plane: group-wide op rates, the leader/follower/learner read
+	// mix, and the hot-write-directory sketch (parent paths of mutations
+	// flowing through Raft).
+	lookupRate    *heat.Rate
+	proposeRate   *heat.Rate
+	leaderReads   atomic.Int64
+	followerReads atomic.Int64
+	learnerReads  atomic.Int64
+	writeHeat     *heat.TopK[string]
+}
+
+// GroupHeat is a point-in-time snapshot of the group's heat plane.
+type GroupHeat struct {
+	LookupsPerSec  float64             `json:"lookups_per_sec"`
+	ProposesPerSec float64             `json:"proposes_per_sec"`
+	LeaderReads    int64               `json:"leader_reads"`
+	FollowerReads  int64               `json:"follower_reads"`
+	LearnerReads   int64               `json:"learner_reads"`
+	FallbackReads  int64               `json:"fallback_reads"`
+	HotWriteDirs   []heat.Item[string] `json:"hot_write_dirs"`
+}
+
+// Heat snapshots the group's heat plane.
+func (g *Group) Heat() GroupHeat {
+	return GroupHeat{
+		LookupsPerSec:  g.lookupRate.PerSecond(),
+		ProposesPerSec: g.proposeRate.PerSecond(),
+		LeaderReads:    g.leaderReads.Load(),
+		FollowerReads:  g.followerReads.Load(),
+		LearnerReads:   g.learnerReads.Load(),
+		FallbackReads:  g.fallbacks.Load(),
+		HotWriteDirs:   g.writeHeat.Snapshot(),
+	}
+}
+
+// noteRead classifies a successfully served lookup by the serving
+// replica's current role (learner replicas never campaign, so index
+// suffices; voters are split by live Raft role).
+func (g *Group) noteRead(idx int, rf *raft.Raft) {
+	if idx >= g.cfg.Voters {
+		g.learnerReads.Add(1)
+		return
+	}
+	if role, _, _ := rf.Status(); role == raft.Leader {
+		g.leaderReads.Add(1)
+	} else {
+		g.followerReads.Add(1)
+	}
 }
 
 // callOpts returns the per-RPC options for proxy→replica calls.
@@ -149,7 +200,13 @@ func retryable(err error) bool {
 // NewGroup builds, starts, and elects the group.
 func NewGroup(cfg Config) (*Group, error) {
 	cfg = cfg.withDefaults()
-	g := &Group{cfg: cfg, proposeLat: &metrics.Latency{}}
+	g := &Group{
+		cfg:         cfg,
+		proposeLat:  &metrics.Latency{},
+		lookupRate:  heat.NewRate(0),
+		proposeRate: heat.NewRate(0),
+		writeHeat:   heat.NewTopK[string](32),
+	}
 	n := cfg.Voters + cfg.Learners
 	raftCfgs := make([]raft.Config, n)
 	for i := 0; i < n; i++ {
@@ -276,6 +333,7 @@ func (g *Group) pickReadTarget() int {
 // DegradedReads is on, the replica falls back to its local (possibly
 // stale) state so lookups keep serving while writes are unavailable.
 func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
+	g.lookupRate.Add(1)
 	var res LookupResult
 	var lastErr error
 	opts := g.callOpts()
@@ -324,6 +382,7 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 			return res, callErr
 		}
 		if err == nil {
+			g.noteRead(idx, rf)
 			return res, nil
 		}
 		if retryable(err) {
@@ -342,6 +401,7 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 // propose fail fast with ErrUnavailable instead of hanging on an entry
 // that can never commit.
 func (g *Group) propose(op *rpc.Op, c Cmd) error {
+	g.proposeRate.Add(1)
 	ctx, sp := trace.Start(op.Context(), "raft-propose")
 	sp.Annotate("cmd", "%d", c.Kind)
 	defer sp.End()
@@ -402,20 +462,24 @@ func (g *Group) KillLeader() bool {
 	return true
 }
 
-// AddDir replicates a new directory's access entry (mkdir commit).
-func (g *Group) AddDir(op *rpc.Op, pid types.InodeID, name string, id types.InodeID, perm types.Perm) error {
+// AddDir replicates a new directory's access entry (mkdir commit);
+// parentPath feeds the write-heat sketch.
+func (g *Group) AddDir(op *rpc.Op, pid types.InodeID, name string, id types.InodeID, perm types.Perm, parentPath string) error {
+	g.writeHeat.Record(parentPath)
 	return g.propose(op, Cmd{Kind: CmdAddDir, Pid: pid, Name: name, ID: id, Perm: perm})
 }
 
 // RemoveDir replicates a directory removal (rmdir commit); path drives
 // the exact-entry cache invalidation.
 func (g *Group) RemoveDir(op *rpc.Op, pid types.InodeID, name string, id types.InodeID, path string) error {
+	g.writeHeat.Record(pathutil.Dir(path))
 	return g.propose(op, Cmd{Kind: CmdRemoveDir, Pid: pid, Name: name, ID: id, Path: path})
 }
 
 // SetPerm replicates a permission change; path drives subtree cache
 // invalidation on every replica.
 func (g *Group) SetPerm(op *rpc.Op, id types.InodeID, perm types.Perm, path string) error {
+	g.writeHeat.Record(path)
 	return g.propose(op, Cmd{Kind: CmdSetPerm, ID: id, Perm: perm, Path: path})
 }
 
@@ -468,6 +532,7 @@ func (g *Group) PrepareRename(op *rpc.Op, srcPath, dstParentPath, dstName, lockI
 // the entry, clears the lock (leader), and invalidates its cache under
 // the source path.
 func (g *Group) CommitRename(op *rpc.Op, prep RenamePrep, dstName, srcPath, lockID string) error {
+	g.writeHeat.Record(pathutil.Dir(srcPath))
 	return g.propose(op, Cmd{
 		Kind: CmdRename,
 		Pid:  prep.SrcPid, Name: prep.SrcName, ID: prep.SrcID, Perm: prep.SrcPerm,

@@ -29,10 +29,10 @@ func newTestGroup(t *testing.T, mutate func(*Config)) (*Group, *rpc.Caller) {
 func TestGroupMkdirLookup(t *testing.T) {
 	g, caller := newTestGroup(t, nil)
 	op := caller.Begin()
-	if err := g.AddDir(op, types.RootID, "a", 2, types.PermAll); err != nil {
+	if err := g.AddDir(op, types.RootID, "a", 2, types.PermAll, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddDir(caller.Begin(), 2, "b", 3, types.PermAll); err != nil {
+	if err := g.AddDir(caller.Begin(), 2, "b", 3, types.PermAll, ""); err != nil {
 		t.Fatal(err)
 	}
 	lop := caller.Begin()
@@ -64,7 +64,7 @@ func TestGroupFollowerReadsSeeWrites(t *testing.T) {
 	// consistent view.
 	for i := 0; i < 5; i++ {
 		if err := g.AddDir(caller.Begin(), types.RootID, fmt.Sprintf("d%d", i),
-			types.InodeID(10+i), types.PermAll); err != nil {
+			types.InodeID(10+i), types.PermAll, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -88,9 +88,9 @@ func TestGroupRenameFlow(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	must(g.AddDir(caller.Begin(), types.RootID, "a", 2, types.PermAll))
-	must(g.AddDir(caller.Begin(), 2, "b", 3, types.PermAll))
-	must(g.AddDir(caller.Begin(), types.RootID, "x", 5, types.PermAll))
+	must(g.AddDir(caller.Begin(), types.RootID, "a", 2, types.PermAll, ""))
+	must(g.AddDir(caller.Begin(), 2, "b", 3, types.PermAll, ""))
+	must(g.AddDir(caller.Begin(), types.RootID, "x", 5, types.PermAll, ""))
 
 	op := caller.Begin()
 	prep, err := g.PrepareRename(op, "/a/b", "/x", "b2", "u1")
@@ -115,10 +115,10 @@ func TestGroupRenameFlow(t *testing.T) {
 
 func TestGroupAbortRename(t *testing.T) {
 	g, caller := newTestGroup(t, nil)
-	if err := g.AddDir(caller.Begin(), types.RootID, "a", 2, types.PermAll); err != nil {
+	if err := g.AddDir(caller.Begin(), types.RootID, "a", 2, types.PermAll, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddDir(caller.Begin(), types.RootID, "x", 5, types.PermAll); err != nil {
+	if err := g.AddDir(caller.Begin(), types.RootID, "x", 5, types.PermAll, ""); err != nil {
 		t.Fatal(err)
 	}
 	op := caller.Begin()
@@ -151,7 +151,7 @@ func TestGroupConcurrentMkdirs(t *testing.T) {
 			for i := 0; i < each; i++ {
 				id := types.InodeID(idSeq.v.Add(1))
 				name := fmt.Sprintf("d-%d-%d", gi, i)
-				if err := g.AddDir(caller.Begin(), types.RootID, name, id, types.PermAll); err != nil {
+				if err := g.AddDir(caller.Begin(), types.RootID, name, id, types.PermAll, ""); err != nil {
 					t.Errorf("mkdir %s: %v", name, err)
 					return
 				}
@@ -181,10 +181,10 @@ func TestGroupFollowerCacheInvalidation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	must(g.AddDir(caller.Begin(), types.RootID, "a", 2, types.PermAll))
-	must(g.AddDir(caller.Begin(), 2, "b", 3, types.PermAll))
-	must(g.AddDir(caller.Begin(), 3, "c", 4, types.PermAll))
-	must(g.AddDir(caller.Begin(), types.RootID, "x", 5, types.PermAll))
+	must(g.AddDir(caller.Begin(), types.RootID, "a", 2, types.PermAll, ""))
+	must(g.AddDir(caller.Begin(), 2, "b", 3, types.PermAll, ""))
+	must(g.AddDir(caller.Begin(), 3, "c", 4, types.PermAll, ""))
+	must(g.AddDir(caller.Begin(), types.RootID, "x", 5, types.PermAll, ""))
 	// Warm every replica's cache (round robin hits all).
 	for i := 0; i < 12; i++ {
 		if _, err := g.Lookup(caller.Begin(), "/a/b/c"); err != nil {
@@ -245,11 +245,11 @@ func TestGroupReadWriteRaceStress(t *testing.T) {
 		}
 	}
 	// /stress/d<i>/leaf chains.
-	must(g.AddDir(caller.Begin(), types.RootID, "stress", 2, types.PermAll))
+	must(g.AddDir(caller.Begin(), types.RootID, "stress", 2, types.PermAll, ""))
 	const dirs = 16
 	for i := 0; i < dirs; i++ {
-		must(g.AddDir(caller.Begin(), 2, fmt.Sprintf("d%d", i), types.InodeID(10+i), types.PermAll))
-		must(g.AddDir(caller.Begin(), types.InodeID(10+i), "leaf", types.InodeID(100+i), types.PermAll))
+		must(g.AddDir(caller.Begin(), 2, fmt.Sprintf("d%d", i), types.InodeID(10+i), types.PermAll, ""))
+		must(g.AddDir(caller.Begin(), types.InodeID(10+i), "leaf", types.InodeID(100+i), types.PermAll, ""))
 	}
 
 	var wg sync.WaitGroup
@@ -293,7 +293,7 @@ func TestGroupReadWriteRaceStress(t *testing.T) {
 				t.Errorf("commit: %v", err)
 				return
 			}
-			if err := g.AddDir(caller.Begin(), 2, fmt.Sprintf("n%d", i), types.InodeID(1000+i), types.PermAll); err != nil {
+			if err := g.AddDir(caller.Begin(), 2, fmt.Sprintf("n%d", i), types.InodeID(1000+i), types.PermAll, ""); err != nil {
 				t.Errorf("mkdir: %v", err)
 				return
 			}

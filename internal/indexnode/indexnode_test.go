@@ -570,7 +570,7 @@ func TestGroupLogCompactionUnderLoad(t *testing.T) {
 	})
 	for i := 0; i < 150; i++ {
 		if err := g.AddDir(caller.Begin(), types.RootID, fmt.Sprintf("d%d", i),
-			types.InodeID(100+i), types.PermAll); err != nil {
+			types.InodeID(100+i), types.PermAll, ""); err != nil {
 			t.Fatal(err)
 		}
 	}

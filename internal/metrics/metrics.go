@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -181,10 +182,16 @@ func (l *Latency) Quantile(q float64) time.Duration {
 			if i > 0 {
 				lower = bucketBounds[i-1]
 			}
-			upper := bucketBounds[i]
 			if i == NumBuckets-1 {
-				upper = l.Max() // overflow bucket: cap at the exact max
+				// Overflow bucket: it has no finite upper bound, so
+				// interpolating against the sentinel (or even against
+				// the exact max, whose distance from the last finite
+				// bound is unbounded) is meaningless. Report the exact
+				// observed max — the only honest point estimate for a
+				// rank beyond the bucketed range.
+				return l.Max()
 			}
+			upper := bucketBounds[i]
 			// Interpolate by rank position within the bucket.
 			frac := (float64(target-cum) + 0.5) / float64(n)
 			est := lower + time.Duration(frac*float64(upper-lower))
@@ -341,4 +348,116 @@ func (r *Registry) Write(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// promName sanitises a metric name for the Prometheus exposition
+// format: any character outside [a-zA-Z0-9_:] becomes '_'. Registry
+// names already conform; this keeps a stray name from corrupting a
+// scrape.
+func promName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return name
+	}
+	b := []byte(name)
+	for i, c := range b {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), so real scrapers can ingest what
+// the flat format already collects: counters and gauges as untyped
+// samples, and every Latency as a cumulative histogram — one
+// `_bucket{le="<seconds>"}` series per finite bucket bound plus the
+// `le="+Inf"` total, `_sum` in seconds, and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	samples := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.fgauges))
+	for name, c := range r.counters {
+		samples = append(samples, fmt.Sprintf("%s %d", promName(name), c.Value()))
+	}
+	lats := make(map[string]*Latency, len(r.latencies))
+	for name, l := range r.latencies {
+		lats[name] = l
+	}
+	type g64 struct {
+		name string
+		fn   func() int64
+	}
+	gauges := make([]g64, 0, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges = append(gauges, g64{name, fn})
+	}
+	type gf struct {
+		name string
+		fn   func() float64
+	}
+	fgauges := make([]gf, 0, len(r.fgauges))
+	for name, fn := range r.fgauges {
+		fgauges = append(fgauges, gf{name, fn})
+	}
+	r.mu.Unlock()
+	// Gauge callbacks run outside the lock, as in Write.
+	for _, g := range gauges {
+		samples = append(samples, fmt.Sprintf("%s %d", promName(g.name), g.fn()))
+	}
+	for _, g := range fgauges {
+		samples = append(samples, fmt.Sprintf("%s %g", promName(g.name), g.fn()))
+	}
+	sort.Strings(samples)
+	for _, s := range samples {
+		if _, err := fmt.Fprintln(w, s); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(lats))
+	for name := range lats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePromHistogram(w, promName(name), lats[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one Latency as a cumulative Prometheus
+// histogram. Buckets snapshot before count, so a concurrent Observe
+// can at worst make count exceed the +Inf bucket — never undershoot
+// it — keeping the series monotone for scrapers.
+func writePromHistogram(w io.Writer, name string, l *Latency) error {
+	buckets := l.Buckets()
+	var cum int64
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < NumBuckets-1; i++ {
+		cum += buckets[i]
+		le := strconv.FormatFloat(bucketBounds[i].Seconds(), 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += buckets[NumBuckets-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(l.sum.Load()).Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	return err
 }

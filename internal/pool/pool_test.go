@@ -77,7 +77,7 @@ func TestBalanceLeaders(t *testing.T) {
 	for i := range groups {
 		groups[i] = newPooledGroup(t, p, fmt.Sprintf("ns%d", i))
 		// Seed each namespace so leadership/logs are live.
-		if err := groups[i].AddDir(caller.Begin(), types.RootID, "d", 2, types.PermAll); err != nil {
+		if err := groups[i].AddDir(caller.Begin(), types.RootID, "d", 2, types.PermAll, ""); err != nil {
 			t.Fatal(err)
 		}
 	}

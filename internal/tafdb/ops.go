@@ -29,7 +29,9 @@ func (db *DB) CreateRoot(root types.InodeID) error {
 // GetAccess reads the access row (pid, name): the id/kind/permission of
 // the named child. One RPC to the owning shard.
 func (db *DB) GetAccess(op *rpc.Op, pid types.InodeID, name string) (types.Entry, error) {
-	p := db.shardFor(pid)
+	si := db.shardIdx(pid)
+	p := db.parts[si]
+	db.noteRead(si, pid)
 	var out types.Entry
 	err := op.Call(p.Node, db.cfg.OpCost, func() error {
 		row, ok := p.Shard.Get(types.Key{Pid: pid, Name: name})
@@ -58,7 +60,9 @@ func (db *DB) StatObject(op *rpc.Op, pid types.InodeID, name string) (types.Entr
 // records into the primary attribute record — the read-side cost of the
 // delta design (§5.2.1). One RPC (primary row and deltas colocate).
 func (db *DB) StatDir(op *rpc.Op, dir types.InodeID) (types.Entry, error) {
-	p := db.shardFor(dir)
+	si := db.shardIdx(dir)
+	p := db.parts[si]
+	db.noteRead(si, dir)
 	var out types.Entry
 	err := op.Call(p.Node, db.cfg.OpCost, func() error {
 		row, ok := p.Shard.Get(attrKey(dir))
@@ -81,7 +85,9 @@ func (db *DB) StatDir(op *rpc.Op, dir types.InodeID) (types.Entry, error) {
 // ReadDir lists directory dir's children in name order. Internal
 // attribute and delta rows are excluded. One RPC.
 func (db *DB) ReadDir(op *rpc.Op, dir types.InodeID) ([]types.Entry, error) {
-	p := db.shardFor(dir)
+	si := db.shardIdx(dir)
+	p := db.parts[si]
+	db.noteRead(si, dir)
 	var out []types.Entry
 	err := op.Call(p.Node, db.cfg.OpCost, func() error {
 		// The parent's attribute row tracks its child count (LinkCount),
@@ -376,7 +382,9 @@ func (db *DB) ReadDirPage(op *rpc.Op, dir types.InodeID, startAfter string, limi
 	if limit <= 0 {
 		limit = 1000
 	}
-	p := db.shardFor(dir)
+	si := db.shardIdx(dir)
+	p := db.parts[si]
+	db.noteRead(si, dir)
 	var out []types.Entry
 	more := false
 	lo := childrenLo

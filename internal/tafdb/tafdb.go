@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mantle/internal/heat"
 	"mantle/internal/metrics"
 	"mantle/internal/netsim"
 	"mantle/internal/rpc"
@@ -57,6 +58,30 @@ const deltaPrefix = "\x00attr\x00"
 // childrenLo is the lowest possible real child name (internal rows sort
 // below it).
 const childrenLo = "\x01"
+
+// heatTopK is the tracked-key budget for the DB-wide directory heat
+// sketch (space-saving guarantees cover anything hotter than the
+// coldest tracked key, so a small k suffices for skewed workloads).
+const heatTopK = 32
+
+// shardLoad accumulates one shard's load signals. All fields are
+// updated lock-free on the hot path.
+type shardLoad struct {
+	reads  atomic.Int64 // point/scan reads served
+	pieces atomic.Int64 // transaction pieces participated in
+	twoPC  atomic.Int64 // pieces that were part of a cross-shard 2PC
+	rate   *heat.Rate   // EWMA ops/sec (reads + pieces)
+}
+
+// ShardLoad is the exported per-shard load snapshot.
+type ShardLoad struct {
+	Shard     int     `json:"shard"`
+	Rows      int     `json:"rows"`
+	Reads     int64   `json:"reads"`
+	TxnPieces int64   `json:"txn_pieces"`
+	TwoPC     int64   `json:"two_pc"`
+	PerSecond float64 `json:"per_second"`
+}
 
 // DeltaMode selects the directory-attribute update strategy.
 type DeltaMode uint8
@@ -156,6 +181,15 @@ type DB struct {
 	parts  []*txn.Participant
 	runner txn.Runner
 
+	// Per-shard load accounting (reads served, transaction pieces
+	// participated, cross-shard 2PC participations, EWMA op rate) plus
+	// the key-range heat sketch over parent-directory IDs — the signals
+	// a future shard-split/migration policy reads. partIdx maps a
+	// participant back to its shard index for write-path accounting.
+	loads   []shardLoad
+	partIdx map[*txn.Participant]int
+	dirHeat *heat.TopK[types.InodeID]
+
 	nextID  atomic.Uint64
 	txnSeq  atomic.Uint64
 	tsSeq   atomic.Uint64
@@ -200,6 +234,13 @@ func New(cfg Config) *DB {
 			Cost:  cfg.TxnCost,
 		})
 	}
+	db.loads = make([]shardLoad, cfg.Shards)
+	db.partIdx = make(map[*txn.Participant]int, cfg.Shards)
+	for i, p := range db.parts {
+		db.loads[i].rate = heat.NewRate(0)
+		db.partIdx[p] = i
+	}
+	db.dirHeat = heat.NewTopK[types.InodeID](heatTopK)
 	db.wg.Add(1)
 	go db.compactLoop()
 	return db
@@ -257,11 +298,66 @@ func (db *DB) Nodes() []*netsim.Node {
 	return out
 }
 
-// shardFor maps a pid to its participant. Fibonacci hashing spreads
+// shardIdx maps a pid to its shard index. Fibonacci hashing spreads
 // sequential IDs.
-func (db *DB) shardFor(pid types.InodeID) *txn.Participant {
+func (db *DB) shardIdx(pid types.InodeID) int {
 	h := uint64(pid) * 0x9E3779B97F4A7C15
-	return db.parts[h%uint64(len(db.parts))]
+	return int(h % uint64(len(db.parts)))
+}
+
+// shardFor maps a pid to its participant.
+func (db *DB) shardFor(pid types.InodeID) *txn.Participant {
+	return db.parts[db.shardIdx(pid)]
+}
+
+// noteRead accounts one read served by shard si against directory dir.
+func (db *DB) noteRead(si int, dir types.InodeID) {
+	l := &db.loads[si]
+	l.reads.Add(1)
+	l.rate.Add(1)
+	db.dirHeat.Record(dir)
+}
+
+// notePieces accounts a successfully built transaction's pieces against
+// their shards; cross-shard transactions also bump each participant's
+// 2PC counter.
+func (db *DB) notePieces(pieces []txn.Piece) {
+	cross := len(pieces) > 1
+	for i := range pieces {
+		si, ok := db.partIdx[pieces[i].P]
+		if !ok {
+			continue
+		}
+		l := &db.loads[si]
+		l.pieces.Add(1)
+		l.rate.Add(1)
+		if cross {
+			l.twoPC.Add(1)
+		}
+	}
+}
+
+// ShardLoads snapshots every shard's load accounting.
+func (db *DB) ShardLoads() []ShardLoad {
+	out := make([]ShardLoad, len(db.parts))
+	for i, p := range db.parts {
+		l := &db.loads[i]
+		out[i] = ShardLoad{
+			Shard:     i,
+			Rows:      p.Shard.Len(),
+			Reads:     l.reads.Load(),
+			TxnPieces: l.pieces.Load(),
+			TwoPC:     l.twoPC.Load(),
+			PerSecond: l.rate.PerSecond(),
+		}
+	}
+	return out
+}
+
+// HotDirs returns the DB-wide directory write/read heat sketch, hottest
+// first.
+func (db *DB) HotDirs() []heat.Item[types.InodeID] {
+	return db.dirHeat.Snapshot()
 }
 
 func attrKey(dir types.InodeID) types.Key {
@@ -423,13 +519,18 @@ func compactShardDeltas(s *storage.Shard) int {
 func (db *DB) runTxn(op *rpc.Op, contendedDir types.InodeID, build func(attempt int) ([]txn.Piece, error)) (int, error) {
 	ctx, sp := trace.Start(op.Context(), "txn-commit")
 	op = op.WithContext(ctx)
+	db.dirHeat.Record(contendedDir)
 	start := time.Now()
 	wrapped := func(attempt int) ([]txn.Piece, error) {
 		if attempt > 0 {
 			db.noteConflict(contendedDir)
 			sp.Annotate("retry", "%d", attempt)
 		}
-		return build(attempt)
+		pieces, err := build(attempt)
+		if err == nil {
+			db.notePieces(pieces)
+		}
+		return pieces, err
 	}
 	if db.cfg.Batch2PC {
 		sp.SetAttr("2pc", "batched")

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A zero-value Trace holds no spans; both exporters must handle the
+// empty tree without panicking.
+func TestExportEmptySpanTree(t *testing.T) {
+	var tr Trace
+	var b strings.Builder
+	tr.WriteTree(&b)
+	if b.String() != "" {
+		t.Fatalf("empty tree rendered %q", b.String())
+	}
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("ChromeJSON of empty trace is not a JSON array: %v\n%s", err, data)
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty trace exported %d events", len(events))
+	}
+}
+
+// Spans ended immediately after starting have zero duration; both
+// exporters must render them (netsim's zero-latency local fabric
+// produces these routinely).
+func TestExportZeroDurationSpans(t *testing.T) {
+	tr, ctx := New("op")
+	_, sp := Start(ctx, "instant")
+	sp.End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("span count = %d", len(spans))
+	}
+	tree := tr.Tree()
+	if !strings.Contains(tree, "instant") {
+		t.Fatalf("tree missing zero-duration span:\n%s", tree)
+	}
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("event count = %d", len(events))
+	}
+	for _, e := range events {
+		if e.Dur < 0 {
+			t.Fatalf("negative duration on %q: %v", e.Name, e.Dur)
+		}
+	}
+}
+
+// Exports must be safe against spans finishing concurrently (run under
+// -race): an operation can still be closing its spans while /status or
+// /trace renders the tree.
+func TestExportConcurrentFinish(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		tr, ctx := New("op")
+		var spans []*Span
+		c := ctx
+		for i := 0; i < 8; i++ {
+			var sp *Span
+			c, sp = Start(c, "step")
+			sp.Annotate("i", "%d", i)
+			spans = append(spans, sp)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, sp := range spans {
+				sp.End()
+			}
+			tr.Finish()
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := tr.ChromeJSON(); err != nil {
+				t.Error(err)
+			}
+			var b strings.Builder
+			tr.WriteTree(&b)
+		}()
+		wg.Wait()
+	}
+}

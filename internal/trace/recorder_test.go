@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func finishedTrace(name string) *Trace {
+	tr, ctx := New(name)
+	_, sp := Start(ctx, "child")
+	sp.End()
+	AddTrips(ctx, 2)
+	tr.Finish()
+	return tr
+}
+
+func TestFlightRecorderThreshold(t *testing.T) {
+	f := NewFlightRecorder(4)
+	// The first offer is always a record-breaker, even below threshold.
+	if !f.Offer("fast", finishedTrace("fast"), time.Millisecond, 10*time.Millisecond) {
+		t.Fatal("first offer not captured as record-breaker")
+	}
+	// Below threshold AND below the running record: dropped.
+	if f.Offer("faster", finishedTrace("faster"), 500*time.Microsecond, 10*time.Millisecond) {
+		t.Fatal("sub-threshold sub-record op captured")
+	}
+	if !f.Offer("slow", finishedTrace("slow"), 20*time.Millisecond, 10*time.Millisecond) {
+		t.Fatal("slow op not captured")
+	}
+	if f.Sampled() != 3 || f.Captured() != 2 {
+		t.Fatalf("sampled=%d captured=%d", f.Sampled(), f.Captured())
+	}
+	recs := f.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("retained %d records", len(recs))
+	}
+	r := recs[0] // newest first
+	if r.Op != "slow" || r.Duration != 20*time.Millisecond || r.Trips != 2 {
+		t.Fatalf("record = %+v", r)
+	}
+	if !r.Record {
+		t.Fatal("slow op beat the running record but is not marked")
+	}
+	if !strings.Contains(r.Tree, "slow") || !strings.Contains(r.Tree, "child") {
+		t.Fatalf("tree missing spans:\n%s", r.Tree)
+	}
+	if recs[1].Op != "fast" || !recs[1].Record {
+		t.Fatalf("record-breaker entry = %+v", recs[1])
+	}
+}
+
+func TestFlightRecorderRingNewestFirst(t *testing.T) {
+	f := NewFlightRecorder(2)
+	for i, name := range []string{"a", "b", "c"} {
+		f.Offer(name, finishedTrace(name), time.Duration(i+1)*time.Millisecond, 0)
+	}
+	recs := f.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("retained %d records, want 2", len(recs))
+	}
+	if recs[0].Op != "c" || recs[1].Op != "b" {
+		t.Fatalf("order = [%s %s], want [c b]", recs[0].Op, recs[1].Op)
+	}
+	if f.Captured() != 3 {
+		t.Fatalf("captured = %d, want 3 (displacement keeps the count)", f.Captured())
+	}
+}
+
+func TestFlightRecorderNilTrace(t *testing.T) {
+	f := NewFlightRecorder(2)
+	if f.Offer("x", nil, time.Second, 0) {
+		t.Fatal("nil trace captured")
+	}
+	if f.Sampled() != 1 {
+		t.Fatalf("sampled = %d", f.Sampled())
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Offer("op", finishedTrace("op"), time.Millisecond, 0)
+				if i%20 == 0 {
+					f.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Sampled() != 800 || f.Captured() != 800 {
+		t.Fatalf("sampled=%d captured=%d", f.Sampled(), f.Captured())
+	}
+	if len(f.Snapshot()) != 8 {
+		t.Fatalf("retained %d", len(f.Snapshot()))
+	}
+}
+
+func TestFlightRecorderWriteText(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Offer("objstat", finishedTrace("objstat"), 5*time.Millisecond, time.Millisecond)
+	var b strings.Builder
+	f.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"1 sampled, 1 captured", "objstat", "threshold 1ms", "child"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mantle/internal/api"
+	"mantle/internal/bench"
+	"mantle/internal/types"
+)
+
+// ZipfObjStatOp stats pre-populated objects under a Zipfian popularity
+// distribution across client subtrees: rank 0 — the hottest — is client
+// 0's subtree, so a skewed run concentrates heat on one directory the
+// way production COSS traffic does (§3.1's hot-bucket pattern). skew is
+// the Zipf s parameter (> 1; larger = more skewed). Each worker owns a
+// seeded generator (rand.Zipf is not goroutine-safe), so runs are
+// deterministic for a given (workers, skew, seed).
+func ZipfObjStatOp(s api.Service, ns *Namespace, workers int, skew float64, seed int64) bench.OpFunc {
+	if skew <= 1 {
+		skew = 1.2
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	clients := len(ns.ObjectPaths)
+	zipfs := make([]*rand.Zipf, workers)
+	for w := range zipfs {
+		zipfs[w] = rand.NewZipf(rand.New(rand.NewSource(seed+int64(w))),
+			skew, 1, uint64(clients-1))
+	}
+	return func(w, seq int) (types.Result, error) {
+		paths := ns.ObjectPaths[int(zipfs[w%workers].Uint64())]
+		return s.ObjStat(s.Caller().Begin(), paths[seq%len(paths)])
+	}
+}
