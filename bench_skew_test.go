@@ -1,0 +1,177 @@
+// Skewed-read benchmarks for elastic hotspot management (DESIGN.md §9):
+// parallel proxy goroutines drive Zipf-distributed lookups at a 5-replica
+// deployment (3 voters + 2 learners, follower read, simulated 200µs RTT),
+// once with the hotspot tier on and once off. Two reported metrics carry
+// the claim:
+//
+//	p99-ns       — p99 latency of lookups that hit the hottest directory.
+//	               Off, every hot read pays a leader round trip for its
+//	               ReadIndex point; on, a promoted path is served by a
+//	               non-leader replica at the bounded-staleness read point.
+//	leader-share — fraction of reads served by the leader. Off, round-
+//	               robin pins it near 1/replicas regardless of skew; on,
+//	               hot traffic leaves the leader almost entirely.
+//
+// The committed BENCH_PR8.json snapshot (make bench-pr8) records both at
+// Zipf s=1.2; the skew CI gate re-runs the hotspot=on side and compares.
+//
+// MANTLE_HOTSPOT=on|off|both (default both) narrows the sweep, mirroring
+// MANTLE_WRITE_BATCH in the write suite.
+package mantle_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mantle"
+	"mantle/internal/bench"
+)
+
+const (
+	// skewDirs is the directory population the Zipf ranks draw from;
+	// rank 0 is the hot directory. 8 ranks at s=1.2 put ~80% of the
+	// mass on the top four — the few-hot-buckets shape of §3.1.
+	skewDirs = 8
+	skewSeed = 7
+)
+
+func skewDir(rank int) string { return fmt.Sprintf("/skew/a/b/d%d", rank) }
+
+// skewBenchCluster builds the skew deployment and its directory
+// population for the given hotspot mode.
+func skewBenchCluster(b *testing.B, mode bench.Mode) *mantle.Cluster {
+	b.Helper()
+	cl, err := mantle.New(bench.SkewConfig(mode.Batch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Stop)
+	c := cl.Client()
+	for i := 0; i < skewDirs; i++ {
+		if err := c.MkdirAll(skewDir(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl
+}
+
+// skewWarmDirs is how many top ranks the warm phase drives hot; the
+// promoted set then absorbs the bulk of the measured traffic.
+const skewWarmDirs = 4
+
+// warmSkew hammers the hottest directories outside the timed region so
+// that, with the hotspot tier on, the promotion loop has observed the
+// skew and promoted the top ranks before measurement starts. It fails
+// the benchmark if promotion never happens — a silent non-promotion
+// would make the on/off comparison meaningless.
+func warmSkew(b *testing.B, cl *mantle.Cluster, hotspot bool) {
+	b.Helper()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8*skewWarmDirs; g++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := cl.Client()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Lookup(skewDir(rank)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g % skewWarmDirs)
+	}
+	promoted := func() bool {
+		hot := make(map[string]bool, skewWarmDirs)
+		for _, p := range cl.Core().Index().HotSet() {
+			hot[p] = true
+		}
+		for r := 0; r < skewWarmDirs; r++ {
+			if !hot[skewDir(r)] {
+				return false
+			}
+		}
+		return true
+	}
+	if hotspot {
+		deadline := time.Now().Add(10 * time.Second)
+		for !promoted() && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+	} else {
+		// Matching warm time keeps cache state comparable across modes.
+		time.Sleep(300 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if hotspot && !promoted() {
+		b.Fatalf("top %d directories never all promoted; hot set = %v",
+			skewWarmDirs, cl.Core().Index().HotSet())
+	}
+}
+
+// BenchmarkSkewLookupParallel is the headline skewed-read workload:
+// every goroutine draws directory ranks from a Zipf(s) distribution and
+// resolves them, concentrating traffic on a handful of hot paths the way
+// production COSS hot buckets do (§3.1).
+func BenchmarkSkewLookupParallel(b *testing.B) {
+	// math/rand's Zipf requires s > 1, so the sweep starts at 1.2 (the
+	// gated point) rather than the near-uniform 0.99 end; hot-dir stats
+	// at low skew are already covered by BenchmarkUniformStatParallel.
+	for _, skew := range []float64{1.2, 1.4} {
+		for _, mode := range bench.HotspotModes() {
+			b.Run(fmt.Sprintf("skew=%.1f/hotspot=%s", skew, mode.Name), func(b *testing.B) {
+				cl := skewBenchCluster(b, mode)
+				warmSkew(b, cl, mode.Batch)
+				idx := cl.Core().Index()
+				l0, f0, n0 := idx.ReadMix()
+				var seedSeq atomic.Int64
+				var mu sync.Mutex
+				var hotLats []time.Duration
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					c := cl.Client()
+					z := rand.NewZipf(rand.New(rand.NewSource(skewSeed+seedSeq.Add(1))),
+						skew, 1, skewDirs-1)
+					var local []time.Duration
+					for pb.Next() {
+						rank := int(z.Uint64())
+						start := time.Now()
+						if _, err := c.Lookup(skewDir(rank)); err != nil {
+							b.Fatal(err)
+						}
+						if rank == 0 {
+							local = append(local, time.Since(start))
+						}
+					}
+					mu.Lock()
+					hotLats = append(hotLats, local...)
+					mu.Unlock()
+				})
+				b.StopTimer()
+				l1, f1, n1 := idx.ReadMix()
+				leader := float64(l1 - l0)
+				total := leader + float64((f1-f0)+(n1-n0))
+				if total > 0 {
+					b.ReportMetric(leader/total, "leader-share")
+				}
+				if len(hotLats) > 0 {
+					sort.Slice(hotLats, func(i, j int) bool { return hotLats[i] < hotLats[j] })
+					p99 := hotLats[len(hotLats)*99/100]
+					b.ReportMetric(float64(p99), "p99-ns")
+				}
+			})
+		}
+	}
+}

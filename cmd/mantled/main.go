@@ -48,20 +48,23 @@ type server struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		shards   = flag.Int("shards", 8, "TafDB shards")
-		replicas = flag.Int("replicas", 3, "IndexNode replicas")
-		learners = flag.Int("learners", 0, "IndexNode learners")
-		follower = flag.Bool("follower-read", true, "serve lookups from followers")
-		rtt      = flag.Duration("rtt", 0, "simulated per-RPC round trip")
-		rpcAddr  = flag.String("rpc-addr", "", "optional binary-protocol listen address (mantle.Dial clients)")
-		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+		addr      = flag.String("addr", ":8080", "listen address")
+		shards    = flag.Int("shards", 8, "TafDB shards")
+		replicas  = flag.Int("replicas", 3, "IndexNode replicas")
+		learners  = flag.Int("learners", 0, "IndexNode learners")
+		follower  = flag.Bool("follower-read", true, "serve lookups from followers")
+		rtt       = flag.Duration("rtt", 0, "simulated per-RPC round trip")
+		rpcAddr   = flag.String("rpc-addr", "", "optional binary-protocol listen address (mantle.Dial clients)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+		hotspot   = flag.Bool("hotspot", false, "elastic hotspot management: promote hot directories to bounded-stale replica reads, load-aware routing, shedding")
+		hotThresh = flag.Int64("hot-threshold", 0, "decayed read count that promotes a directory (0 = production default; lower it for small deployments)")
 	)
 	flag.Parse()
 
 	cl, err := mantle.New(mantle.Config{
 		Shards: *shards, Replicas: *replicas, Learners: *learners,
-		FollowerRead: *follower, RTT: *rtt,
+		FollowerRead: *follower, RTT: *rtt, Hotspot: *hotspot,
+		HotThreshold: *hotThresh,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -113,6 +116,37 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		log.Printf("mantled: pprof enabled on %s/debug/pprof/", *addr)
 	}
+	// Admin surface for online subtree migration:
+	//
+	//	GET  /admin/migrate/plan?max=N        propose up to N moves
+	//	POST /admin/migrate?path=/d&shard=2   move /d's row range to shard 2
+	mux.HandleFunc("/admin/migrate/plan", func(w http.ResponseWriter, r *http.Request) {
+		max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+		plans := cl.PlanMigrations(max)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(plans)
+	})
+	mux.HandleFunc("/admin/migrate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		path := r.URL.Query().Get("path")
+		shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+		if path == "" || err != nil {
+			http.Error(w, "migrate requires path and shard", http.StatusBadRequest)
+			return
+		}
+		moved, err := cl.MigrateDir(path, shard)
+		if err != nil {
+			http.Error(w, err.Error(), statusOf(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"path": path, "shard": shard, "rows": moved})
+	})
 	mux.HandleFunc("/fsck", func(w http.ResponseWriter, r *http.Request) {
 		rep := fsck.Check(cl.Core())
 		w.Header().Set("Content-Type", "application/json")
@@ -241,6 +275,8 @@ func statusOf(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, mantle.ErrPermission):
 		return http.StatusForbidden
+	case errors.Is(err, mantle.ErrOverloaded):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}

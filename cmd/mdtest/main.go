@@ -37,6 +37,8 @@ func main() {
 		objects  = flag.Int("objects", 40, "pre-populated objects per client")
 		depth    = flag.Int("depth", 10, "working directory depth")
 		rtt      = flag.Duration("rtt", 200*time.Microsecond, "simulated per-RPC round trip")
+		skew     = flag.Float64("skew", 0, "Zipf skew for lookup/objstat traffic (0 = uniform; try 1.2)")
+		hotspot  = flag.Bool("hotspot", false, "enable elastic hotspot management (mantle only)")
 		dumpM    = flag.Bool("dump-metrics", false, "print the system's metrics registry and fabric edge stats after the run")
 		doTrace  = flag.Bool("trace", false, "run one traced lookup after the benchmark and print its span tree")
 		heatRep  = flag.Bool("heat-report", false, "print the system's heat-plane report after the run (mantle only)")
@@ -51,6 +53,11 @@ func main() {
 	opts := experiments.SystemOpts{}
 	if *system == "mantle" {
 		opts = experiments.DefaultMantleOpts()
+		opts.MantleHotspot = *hotspot
+		if *hotspot && opts.MantleLearners == 0 {
+			// Hot-set replication needs read replicas to spread onto.
+			opts.MantleLearners = 2
+		}
 	}
 	s, ns, err := experiments.BuildPopulated(*system, p, opts)
 	if err != nil {
@@ -62,7 +69,11 @@ func main() {
 	var fn bench.OpFunc
 	switch *op {
 	case "lookup":
-		fn = workload.LookupOp(s, ns)
+		if *skew > 0 {
+			fn = workload.ZipfLookupOp(s, ns, p.Clients, *skew, 1)
+		} else {
+			fn = workload.LookupOp(s, ns)
+		}
 	case "create":
 		fn = workload.CreateOp(s, ns, "cli")
 	case "delete":
@@ -72,7 +83,11 @@ func main() {
 		}
 		fn = workload.DeleteOp(s, ns, "cli")
 	case "objstat":
-		fn = workload.ObjStatOp(s, ns)
+		if *skew > 0 {
+			fn = workload.ZipfObjStatOp(s, ns, p.Clients, *skew, 1)
+		} else {
+			fn = workload.ObjStatOp(s, ns)
+		}
 	case "dirstat":
 		fn = workload.DirStatOp(s, ns)
 	case "mkdir":

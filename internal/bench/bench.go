@@ -37,6 +37,41 @@ func Modes() []Mode {
 	return []Mode{{"on", true}, {"off", false}}
 }
 
+// HotspotModes returns the hotspot-management variants the skew suite
+// benchmarks. MANTLE_HOTSPOT ("on", "off", or "both"; default "both")
+// narrows the sweep the same way MANTLE_WRITE_BATCH does for the write
+// suite, so CI lanes can run and gate one side at a time.
+func HotspotModes() []Mode {
+	switch os.Getenv("MANTLE_HOTSPOT") {
+	case "on":
+		return []Mode{{"on", true}}
+	case "off":
+		return []Mode{{"off", false}}
+	}
+	return []Mode{{"on", true}, {"off", false}}
+}
+
+// SkewConfig is the deployment the skew suite runs against: a 3-voter
+// group with 2 learners and follower read (the paper's read-replica
+// shape), a simulated network round trip so the leader round trip that
+// hot-set reads elide is visible in latency, and hotspot management
+// toggled per mode. The proxy cache stays off (its default) so lookups
+// actually reach the replicas under test.
+func SkewConfig(hotspot bool) mantle.Config {
+	return mantle.Config{
+		Shards:       4,
+		Replicas:     3,
+		Learners:     2,
+		FollowerRead: true,
+		RTT:          200 * time.Microsecond,
+		Hotspot:      hotspot,
+		// The suite's absolute read rate is far below production; scale
+		// the promotion threshold down with it so the hot-set tracks
+		// the skew instead of flapping at the demotion boundary.
+		HotThreshold: 64,
+	}
+}
+
 // Simulated durability costs for the write suite: large enough that
 // sync amortisation is the first-order effect (as with the paper's
 // 400µs testbed fsync), small enough for -benchtime=1x smoke runs.

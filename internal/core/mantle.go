@@ -254,6 +254,16 @@ func NewWithDB(cfg Config, db *tafdb.DB) (*Mantle, error) {
 		}
 		return float64(s.Proposals) / float64(s.Appends)
 	})
+	// Elastic hotspot management observability: hot-set churn and the
+	// read/shed split on IndexNode, plus TafDB's migration accounting.
+	m.stats.Gauge("hotspot_promotions", func() int64 { return idx.Hotspot().Promotions })
+	m.stats.Gauge("hotspot_demotions", func() int64 { return idx.Hotspot().Demotions })
+	m.stats.Gauge("hotspot_hot_reads", func() int64 { return idx.Hotspot().HotReads })
+	m.stats.Gauge("hotspot_stale_fallbacks", func() int64 { return idx.Hotspot().StaleFalls })
+	m.stats.Gauge("hotspot_sheds", func() int64 { return idx.Hotspot().Sheds })
+	m.stats.Gauge("migrations", func() int64 { return db.Migrations().Migrations })
+	m.stats.Gauge("migration_rows", func() int64 { return db.Migrations().Rows })
+	m.stats.Gauge("migration_aborts", func() int64 { return db.Migrations().Aborts })
 	m.stats.Gauge("wal_syncs", func() int64 { return db.WALStats().Syncs })
 	m.stats.Gauge("wal_syncs_solo", func() int64 { return db.WALStats().SoloSyncs })
 	m.stats.Gauge("wal_syncs_group", func() int64 { return db.WALStats().GroupSyncs })

@@ -15,11 +15,12 @@ import (
 // serves: per-layer hot directories, per-shard load, and the slow-op
 // flight recorder's retained span trees.
 type Status struct {
-	Proxy   ProxyStatus                `json:"proxy"`
-	Index   indexnode.GroupHeat        `json:"index"`
-	Shards  []tafdb.ShardLoad          `json:"shards"`
-	DBDirs  []heat.Item[types.InodeID] `json:"db_hot_dirs"`
-	SlowOps SlowOpsStatus              `json:"slow_ops"`
+	Proxy     ProxyStatus                `json:"proxy"`
+	Index     indexnode.GroupHeat        `json:"index"`
+	Shards    []tafdb.ShardLoad          `json:"shards"`
+	DBDirs    []heat.Item[types.InodeID] `json:"db_hot_dirs"`
+	Migration tafdb.MigrationStats       `json:"migration"`
+	SlowOps   SlowOpsStatus              `json:"slow_ops"`
 }
 
 // ProxyStatus is the proxy layer's slice of the heat plane.
@@ -44,9 +45,10 @@ func (m *Mantle) Status() Status {
 			HotDirs:   m.dirHeat.Snapshot(),
 			HotMisses: m.missHeat.Snapshot(),
 		},
-		Index:  m.idx.Heat(),
-		Shards: m.db.ShardLoads(),
-		DBDirs: m.db.HotDirs(),
+		Index:     m.idx.Heat(),
+		Shards:    m.db.ShardLoads(),
+		DBDirs:    m.db.HotDirs(),
+		Migration: m.db.Migrations(),
 		SlowOps: SlowOpsStatus{
 			Sampled:  m.recorder.Sampled(),
 			Captured: m.recorder.Captured(),
@@ -81,6 +83,13 @@ func (m *Mantle) WriteStatus(w io.Writer) {
 	fmt.Fprintf(w, "read mix: leader %d, follower %d, learner %d, fallback %d\n",
 		s.Index.LeaderReads, s.Index.FollowerReads, s.Index.LearnerReads, s.Index.FallbackReads)
 	writeHotDirs(w, "hot write dirs", s.Index.HotWriteDirs)
+	if h := s.Index.Hotspot; h.Enabled {
+		fmt.Fprintf(w, "hotspot: %d hot paths, %d promotions, %d demotions, %d hot reads, %d stale fallbacks, %d sheds\n",
+			len(h.HotSet), h.Promotions, h.Demotions, h.HotReads, h.StaleFalls, h.Sheds)
+		for _, p := range h.HotSet {
+			fmt.Fprintf(w, "  hot %s\n", p)
+		}
+	}
 
 	fmt.Fprintf(w, "\n== tafdb ==\n")
 	fmt.Fprintf(w, "%-6s %10s %10s %10s %8s %10s\n", "shard", "rows", "reads", "pieces", "2pc", "ops/sec")
@@ -94,6 +103,12 @@ func (m *Mantle) WriteStatus(w io.Writer) {
 			fmt.Fprintf(w, " %d(%d)", it.Key, it.Count)
 		}
 		fmt.Fprintln(w)
+	}
+
+	if s.Migration.Epoch > 0 || s.Migration.Aborts > 0 {
+		fmt.Fprintf(w, "migrations: %d done (%d rows), %d aborted, %d dirs off home, routing epoch %d\n",
+			s.Migration.Migrations, s.Migration.Rows, s.Migration.Aborts,
+			s.Migration.Overrides, s.Migration.Epoch)
 	}
 
 	fmt.Fprintf(w, "\n== slow ops ==\n")
@@ -132,6 +147,12 @@ func (m *Mantle) WriteHeatMetrics(w io.Writer) error {
 	fmt.Fprintf(w, "heat_index_leader_reads %d\n", s.Index.LeaderReads)
 	fmt.Fprintf(w, "heat_index_follower_reads %d\n", s.Index.FollowerReads)
 	fmt.Fprintf(w, "heat_index_learner_reads %d\n", s.Index.LearnerReads)
+	fmt.Fprintf(w, "heat_index_hot_reads %d\n", s.Index.Hotspot.HotReads)
+	fmt.Fprintf(w, "heat_index_hot_paths %d\n", int64(len(s.Index.Hotspot.HotSet)))
+	fmt.Fprintf(w, "heat_index_sheds %d\n", s.Index.Hotspot.Sheds)
+	fmt.Fprintf(w, "heat_migrations %d\n", s.Migration.Migrations)
+	fmt.Fprintf(w, "heat_migration_rows %d\n", s.Migration.Rows)
+	fmt.Fprintf(w, "heat_routing_epoch %d\n", s.Migration.Epoch)
 	for _, it := range s.Index.HotWriteDirs {
 		fmt.Fprintf(w, "heat_index_write_dir{%s} %d\n", it.Key, it.Count)
 	}

@@ -134,6 +134,9 @@ type SystemOpts struct {
 	MantleDelta        tafdb.DeltaMode
 	MantleFollowerRead bool
 	MantleLearners     int
+	// MantleHotspot enables elastic hotspot management (hot-set
+	// replication, load-aware routing, shedding) on the IndexNode group.
+	MantleHotspot bool
 	// MantleProxyCache adds the Figure 20 proxy-side metadata cache on
 	// top of Mantle's own TopDirPathCache.
 	MantleProxyCache bool
@@ -181,6 +184,7 @@ func NewSystem(name string, fabric *netsim.Fabric, opts SystemOpts) (api.Service
 				Voters: 3, Learners: opts.MantleLearners,
 				K: k, CacheEnabled: opts.MantleCache,
 				FollowerRead:   opts.MantleFollowerRead,
+				Hotspot:        opts.MantleHotspot,
 				Workers:        idxWorkers,
 				LookupBaseCost: idxBaseCost, LookupLevelCost: idxLevelCost,
 				WriteCost: idxWriteCost,

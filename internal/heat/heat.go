@@ -41,11 +41,16 @@ type cell struct {
 // comparable type (string paths at the proxy and IndexNode, inode IDs
 // at TafDB — an ID key avoids formatting allocations on the shard hot
 // path). Safe for concurrent use. Counts are cumulative since creation
-// (or the last Reset).
+// (or the last Reset) unless a decay half-life is configured
+// (NewTopKDecay), in which case counts are exponentially decayed at
+// read time so keys that stop arriving fade out instead of pinning
+// their peak forever — the property the hot-set demotion logic needs.
 type TopK[K comparable] struct {
-	k  int
-	mu sync.RWMutex
-	m  map[K]*cell
+	k        int
+	halfLife time.Duration // 0 = cumulative (no decay)
+	mu       sync.RWMutex
+	m        map[K]*cell
+	lastFold time.Time // last decay fold (guarded by mu in write mode)
 }
 
 // NewTopK creates a sketch tracking at most k keys (minimum 1).
@@ -54,6 +59,21 @@ func NewTopK[K comparable](k int) *TopK[K] {
 		k = 1
 	}
 	return &TopK[K]{k: k, m: make(map[K]*cell, k)}
+}
+
+// NewTopKDecay creates a sketch whose counts decay with the given
+// half-life (the same lazy fold Rate uses): a key recorded at rate r
+// converges to a steady count of ~r·halfLife/ln2, and a key that stops
+// arriving halves every halfLife until it drops out of the sketch.
+// Decay folds lazily on Snapshot/eviction, so the record fast path is
+// unchanged. A non-positive halfLife disables decay.
+func NewTopKDecay[K comparable](k int, halfLife time.Duration) *TopK[K] {
+	t := NewTopK[K](k)
+	if halfLife > 0 {
+		t.halfLife = halfLife
+		t.lastFold = time.Now()
+	}
+	return t
 }
 
 // K returns the sketch capacity.
@@ -84,6 +104,9 @@ func (t *TopK[K]) RecordN(key K, n int64) {
 		c.count.Add(n)
 		return
 	}
+	// Fold decay before an eviction decision so the minimum reflects
+	// current (decayed) heat, not a stale peak.
+	t.foldLocked(time.Now())
 	if len(t.m) < t.k {
 		c := &cell{}
 		c.count.Store(n)
@@ -114,8 +137,26 @@ type Item[K comparable] struct {
 	Err   int64 `json:"err"`
 }
 
-// Snapshot returns the tracked keys sorted by descending count.
+// Snapshot returns the tracked keys sorted by descending count. On a
+// decaying sketch it first folds the elapsed decay, so counts shrink —
+// and fully-cooled keys disappear — even when nothing records.
 func (t *TopK[K]) Snapshot() []Item[K] {
+	return t.snapshotAt(time.Now())
+}
+
+// snapshotAt is Snapshot with an injectable clock (deterministic tests).
+func (t *TopK[K]) snapshotAt(now time.Time) []Item[K] {
+	if t.halfLife > 0 {
+		t.mu.Lock()
+		t.foldLocked(now)
+		out := make([]Item[K], 0, len(t.m))
+		for k2, c := range t.m {
+			out = append(out, Item[K]{Key: k2, Count: c.count.Load(), Err: c.err})
+		}
+		t.mu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+		return out
+	}
 	t.mu.RLock()
 	out := make([]Item[K], 0, len(t.m))
 	for k2, c := range t.m {
@@ -124,6 +165,34 @@ func (t *TopK[K]) Snapshot() []Item[K] {
 	t.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
 	return out
+}
+
+// foldLocked applies the decay accumulated since the last fold:
+// every count (and its error bound) is scaled by 2^(-dt/halfLife), and
+// cells that decay below one event are dropped so the sketch frees
+// slots for current traffic. Caller holds t.mu in write mode. No-op on
+// cumulative sketches or inside the minFold window.
+func (t *TopK[K]) foldLocked(now time.Time) {
+	if t.halfLife <= 0 {
+		return
+	}
+	dt := now.Sub(t.lastFold)
+	if dt < minFold {
+		return
+	}
+	t.lastFold = now
+	factor := math.Exp2(-dt.Seconds() / t.halfLife.Seconds())
+	for k2, c := range t.m {
+		// Load+store is safe: writers that could race the fold hold the
+		// read lock, which t.mu excludes here.
+		v := int64(float64(c.count.Load()) * factor)
+		if v < 1 {
+			delete(t.m, k2)
+			continue
+		}
+		c.count.Store(v)
+		c.err = int64(float64(c.err) * factor)
+	}
 }
 
 // Len returns the number of tracked keys.

@@ -197,3 +197,93 @@ func TestRateConcurrent(t *testing.T) {
 		t.Fatalf("total = %d, want 8000", r.Total())
 	}
 }
+
+// Regression for the demotion-staleness bug: on a decaying sketch, a
+// hotspot that shifts must let the old hot key's count fade so the new
+// one overtakes it — before decay, stale counts pinned the old hotspot
+// at its peak forever and the hot-set could never shrink.
+func TestTopKDecayShiftingHotspot(t *testing.T) {
+	tk := NewTopKDecay[string](4, time.Second)
+	now := time.Now()
+	tk.mu.Lock()
+	tk.lastFold = now
+	tk.mu.Unlock()
+
+	// Phase 1: "/old" is the hotspot.
+	tk.RecordN("/old", 1000)
+	items := tk.snapshotAt(now)
+	if items[0].Key != "/old" || items[0].Count != 1000 {
+		t.Fatalf("phase 1 top = %+v", items[0])
+	}
+
+	// Phase 2: "/old" goes silent for three half-lives (decaying to
+	// ~125), then the hotspot shifts: "/new" arrives at a modest rate
+	// and must overtake the stale peak.
+	items = tk.snapshotAt(now.Add(3 * time.Second))
+	if items[0].Key != "/old" || items[0].Count > 130 || items[0].Count < 120 {
+		t.Fatalf("after 3 idle half-lives, top = %+v, want /old ~125", items[0])
+	}
+	tk.RecordN("/new", 300)
+	items = tk.snapshotAt(now.Add(3 * time.Second))
+	if items[0].Key != "/new" {
+		t.Fatalf("after shift, top = %+v (old hotspot did not decay)", items)
+	}
+	var old *Item[string]
+	for i := range items {
+		if items[i].Key == "/old" {
+			old = &items[i]
+		}
+	}
+	if old == nil {
+		t.Fatalf("/old dropped too early: %+v", items)
+	}
+	if old.Count > 130 || old.Count < 120 {
+		t.Fatalf("/old after 3 half-lives = %d, want ~125", old.Count)
+	}
+
+	// Phase 3: fully cooled keys drop out entirely, freeing slots.
+	items = tk.snapshotAt(now.Add(30 * time.Second))
+	for _, it := range items {
+		if it.Key == "/old" {
+			t.Fatalf("/old still tracked after 30 half-lives: %+v", items)
+		}
+	}
+}
+
+// A cumulative sketch must behave exactly as before: no decay ever.
+func TestTopKNoDecayWhenCumulative(t *testing.T) {
+	tk := NewTopK[string](4)
+	tk.RecordN("/a", 100)
+	items := tk.snapshotAt(time.Now().Add(time.Hour))
+	if len(items) != 1 || items[0].Count != 100 {
+		t.Fatalf("cumulative sketch decayed: %+v", items)
+	}
+}
+
+// Decay folds must not lose concurrent increments.
+func TestTopKDecayConcurrent(t *testing.T) {
+	tk := NewTopKDecay[int](8, time.Minute) // long half-life: ~no decay
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tk.Record(i % 4)
+				if i%50 == 0 {
+					tk.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, it := range tk.Snapshot() {
+		total += it.Count
+	}
+	// Half-life is a minute and the test runs in milliseconds, so decay
+	// rounds away at most a tiny fraction.
+	if total < 15800 || total > 16000 {
+		t.Fatalf("total after concurrent decaying records = %d, want ~16000", total)
+	}
+}

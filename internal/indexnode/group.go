@@ -3,6 +3,7 @@ package indexnode
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +66,28 @@ type Config struct {
 	// CallTimeout is the per-RPC deadline applied to proxy→replica calls
 	// (0 = the rpc caller's default).
 	CallTimeout time.Duration
+	// Hotspot enables elastic hot-entry replication (DESIGN.md §9):
+	// directories crossing HotThreshold in the group's decaying
+	// read-heat sketch are promoted into a hot-set served by non-leader
+	// replicas at a bounded-staleness read point, with load-aware
+	// (power-of-two-choices) routing on piggybacked load hints.
+	Hotspot bool
+	// HotPromoteInterval is the promotion loop's cadence (default 100ms).
+	HotPromoteInterval time.Duration
+	// HotThreshold is the decayed read count at which a path is
+	// promoted; demotion applies at half this (hysteresis). Default 512.
+	HotThreshold int64
+	// HotSetMax bounds the promoted set (default 32).
+	HotSetMax int
+	// HotMaxStale is the staleness bound for hot-set reads: a hot read
+	// reflects every write committed at the leader as of now−HotMaxStale.
+	// Default 4× HeartbeatInterval, so healthy heartbeats always satisfy
+	// the bound.
+	HotMaxStale time.Duration
+	// ShedThreshold, when positive, turns on backpressure: once every
+	// live replica's load hint (queue delay) exceeds it, lookups are
+	// shed with a typed ErrOverloaded + retry-after instead of queueing.
+	ShedThreshold time.Duration
 	// DegradedReads lets a replica that cannot reach the leader (no
 	// leader elected, or the leader is partitioned away) serve lookups
 	// from its local — possibly stale — state instead of failing. The
@@ -113,6 +136,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryWindow <= 0 {
 		c.RetryWindow = 5 * time.Second
 	}
+	if c.HotPromoteInterval <= 0 {
+		c.HotPromoteInterval = 100 * time.Millisecond
+	}
+	if c.HotThreshold <= 0 {
+		c.HotThreshold = 512
+	}
+	if c.HotSetMax <= 0 {
+		c.HotSetMax = 32
+	}
+	if c.HotMaxStale <= 0 {
+		c.HotMaxStale = 4 * c.HeartbeatInterval
+	}
 	return c
 }
 
@@ -143,6 +178,21 @@ type Group struct {
 	followerReads atomic.Int64
 	learnerReads  atomic.Int64
 	writeHeat     *heat.TopK[string]
+
+	// Elastic hotspot management (hotspot.go): the decaying read-heat
+	// sketch feeding the promotion loop, the promoted set, per-replica
+	// piggybacked load hints, and the tier's counters.
+	readHeat   *heat.TopK[string]
+	hotSet     atomic.Pointer[hotSet]
+	loadHints  []atomic.Int64
+	promotions atomic.Int64
+	demotions  atomic.Int64
+	hotReads   atomic.Int64
+	staleFalls atomic.Int64
+	sheds      atomic.Int64
+	hotStop    chan struct{}
+	hotOnce    sync.Once
+	hotWG      sync.WaitGroup
 }
 
 // GroupHeat is a point-in-time snapshot of the group's heat plane.
@@ -154,6 +204,7 @@ type GroupHeat struct {
 	LearnerReads   int64               `json:"learner_reads"`
 	FallbackReads  int64               `json:"fallback_reads"`
 	HotWriteDirs   []heat.Item[string] `json:"hot_write_dirs"`
+	Hotspot        HotspotStats        `json:"hotspot"`
 }
 
 // Heat snapshots the group's heat plane.
@@ -166,7 +217,14 @@ func (g *Group) Heat() GroupHeat {
 		LearnerReads:   g.learnerReads.Load(),
 		FallbackReads:  g.fallbacks.Load(),
 		HotWriteDirs:   g.writeHeat.Snapshot(),
+		Hotspot:        g.Hotspot(),
 	}
+}
+
+// ReadMix returns the leader/follower/learner read counters (tests and
+// the skew benchmark's leader-share metric).
+func (g *Group) ReadMix() (leader, follower, learner int64) {
+	return g.leaderReads.Load(), g.followerReads.Load(), g.learnerReads.Load()
 }
 
 // noteRead classifies a successfully served lookup by the serving
@@ -206,8 +264,14 @@ func NewGroup(cfg Config) (*Group, error) {
 		lookupRate:  heat.NewRate(0),
 		proposeRate: heat.NewRate(0),
 		writeHeat:   heat.NewTopK[string](32),
+		// The read-heat sketch decays with a half-life of two promotion
+		// intervals, so a shifted hotspot cools below the demotion
+		// threshold within a few loop ticks (the heat.TopK decay fix).
+		readHeat: heat.NewTopKDecay[string](4*cfg.HotSetMax, 2*cfg.HotPromoteInterval),
+		hotStop:  make(chan struct{}),
 	}
 	n := cfg.Voters + cfg.Learners
+	g.loadHints = make([]atomic.Int64, n)
 	raftCfgs := make([]raft.Config, n)
 	for i := 0; i < n; i++ {
 		rep := NewReplica(cfg.K, cfg.CacheEnabled)
@@ -247,11 +311,15 @@ func NewGroup(cfg Config) (*Group, error) {
 		g.Stop()
 		return nil, err
 	}
+	if cfg.Hotspot {
+		g.startHotspotLoop()
+	}
 	return g, nil
 }
 
 // Stop shuts the group down.
 func (g *Group) Stop() {
+	g.stopHotspot()
 	for _, r := range g.rafts {
 		r.Stop()
 	}
@@ -312,12 +380,23 @@ func (g *Group) chargeFor(res LookupResult) time.Duration {
 	return g.lookupCost(res.Levels)
 }
 
-// pickReadTarget returns the replica index to serve the next lookup
-// (round-robin over all replicas under FollowerRead, else the leader),
-// or -1 when no replica is eligible.
-func (g *Group) pickReadTarget() int {
+// pickReadTarget returns the replica index to serve the next lookup, or
+// -1 when no replica is eligible. Under FollowerRead the default is
+// round-robin over all replicas; with the hotspot tier on, routing is
+// power-of-two-choices on the piggybacked load hints instead, so a
+// replica with a deep queue stops attracting new reads.
+func (g *Group) pickReadTarget(scratch []int) int {
 	if !g.cfg.FollowerRead {
 		return g.leaderIndex()
+	}
+	if g.cfg.Hotspot {
+		cands := scratch[:0]
+		for i, rf := range g.rafts {
+			if !rf.Stopped() {
+				cands = append(cands, i)
+			}
+		}
+		return g.pickLoadAware(cands)
 	}
 	return int(g.rr.Add(1) % uint64(len(g.replicas)))
 }
@@ -337,9 +416,54 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 	var res LookupResult
 	var lastErr error
 	opts := g.callOpts()
+	var scratch [maxReplicas]int
+	hot := false
+	if g.cfg.Hotspot {
+		g.readHeat.Record(path)
+		if err := g.maybeShed(); err != nil {
+			return res, err
+		}
+		hot = g.isHot(path)
+	}
 	deadline := time.Now().Add(g.cfg.RetryWindow)
 	for attempt := 0; attempt == 0 || time.Now().Before(deadline); attempt++ {
-		idx := g.pickReadTarget()
+		if hot {
+			// Hot-set path: a non-leader replica serves at the bounded
+			// staleness read point — one RPC, no leader round trip. A
+			// read-point failure (no fresh leader contact, replica churn)
+			// falls back to the consistent path for the rest of the op.
+			cands := g.hotCandidates(scratch[:0])
+			if len(cands) == 0 {
+				hot = false
+				g.staleFalls.Add(1)
+				continue
+			}
+			idx := g.pickLoadAware(cands)
+			rep, rf, node := g.replicas[idx], g.rafts[idx], g.nodes[idx]
+			var lerr error
+			var herr error
+			callErr := op.Do(node, 0, opts, func() error {
+				herr = rf.BoundedStaleRead(g.cfg.HotMaxStale, func() error {
+					res, lerr = rep.Lookup(path)
+					node.Charge(g.chargeFor(res))
+					return nil
+				})
+				return nil
+			})
+			if callErr != nil || herr != nil {
+				hot = false
+				g.staleFalls.Add(1)
+				continue
+			}
+			g.noteLoadHint(idx)
+			if lerr != nil {
+				return res, lerr
+			}
+			g.noteRead(idx, rf)
+			g.hotReads.Add(1)
+			return res, nil
+		}
+		idx := g.pickReadTarget(scratch[:])
 		if idx < 0 {
 			time.Sleep(5 * time.Millisecond)
 			lastErr = types.ErrNotLeader
@@ -382,6 +506,7 @@ func (g *Group) Lookup(op *rpc.Op, path string) (LookupResult, error) {
 			return res, callErr
 		}
 		if err == nil {
+			g.noteLoadHint(idx)
 			g.noteRead(idx, rf)
 			return res, nil
 		}

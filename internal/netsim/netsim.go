@@ -187,6 +187,7 @@ type Node struct {
 
 	busy   atomic.Int64 // cumulative modelled CPU time, ns
 	ops    atomic.Int64
+	load   atomic.Int64 // EWMA queue delay, ns (the load hint)
 	faults atomic.Pointer[FaultHook]
 	stats  nodeStats
 }
@@ -246,17 +247,23 @@ func (n *Node) Charge(cost time.Duration) {
 	start := n.next
 	n.next = n.next.Add(advance)
 	n.mu.Unlock()
-	if wait := start.Sub(now); wait > 0 {
-		n.stats.queueWait.Observe(wait)
-	} else {
-		n.stats.queueWait.Observe(0)
+	wait := start.Sub(now)
+	if wait < 0 {
+		wait = 0
 	}
+	n.stats.queueWait.Observe(wait)
+	// Fold the observed queue delay into the load-hint EWMA (α = 1/8,
+	// computed in integer ns so the hot path stays lock-free): one
+	// atomic load + store per charge; a torn concurrent update only
+	// loses one sample of an 8-sample-smoothed estimate.
+	prev := n.load.Load()
+	n.load.Store(prev + (int64(wait)-prev)/8)
 	// Sub-floor waits are absorbed rather than slept: OS timer
 	// granularity (~1ms on stock kernels) would overshoot a short sleep
 	// by far more than the wait itself, distorting the model. The
 	// pacer's timeline still advances, so a saturated node's queue delay
 	// grows past the floor and the throughput cap is enforced exactly.
-	if wait := start.Sub(now); wait > chargeSleepFloor {
+	if wait > chargeSleepFloor {
 		time.Sleep(wait)
 	}
 }
@@ -266,6 +273,13 @@ const chargeSleepFloor = 500 * time.Microsecond
 
 // Ops returns the number of requests executed on the node.
 func (n *Node) Ops() int64 { return n.ops.Load() }
+
+// LoadHint returns the node's smoothed queue delay — how long a request
+// arriving now can expect to wait before service. This is the load
+// signal piggybacked on RPC replies for the proxy's load-aware router:
+// an idle node reports ~0, a saturated node's hint grows with its
+// backlog. One atomic load; safe to sample on every reply.
+func (n *Node) LoadHint() time.Duration { return time.Duration(n.load.Load()) }
 
 // BusyTime returns the cumulative modelled CPU time consumed on the node.
 func (n *Node) BusyTime() time.Duration { return time.Duration(n.busy.Load()) }

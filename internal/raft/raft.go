@@ -248,6 +248,12 @@ type Raft struct {
 	// reads batches follower-read commitIndex queries to the leader.
 	reads readState
 
+	// Bounded-staleness read point (BoundedStaleRead): the highest
+	// leader commit index advertised by an AppendEntries/heartbeat
+	// exchange, and when that exchange was received.
+	staleCommit  uint64
+	staleContact time.Time
+
 	// disk serialises simulated fsyncs.
 	disk sync.Mutex
 

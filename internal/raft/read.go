@@ -129,6 +129,47 @@ func (r *Raft) ConsistentRead(fn func() error) error {
 	return fn()
 }
 
+// ErrStale reports that a bounded-staleness read could not be served
+// locally because the replica's last leader contact is older than the
+// caller's staleness bound (partitioned or lagging replica). Callers
+// fall back to a linearisable ConsistentRead.
+var ErrStale = fmt.Errorf("raft: leader contact exceeds staleness bound: %w", types.ErrUnavailable)
+
+// BoundedStaleRead performs fn at a bounded-staleness read point with no
+// leader round trip: the replica uses the leader commit index advertised
+// by the most recent AppendEntries/heartbeat exchange as its read index,
+// provided that exchange happened within maxStale. After local apply
+// catches up to that index, fn observes every write that was committed
+// at the leader as of (now − maxStale) — the staleness promise — because
+// the leader advertises its commit index on every exchange and exchanges
+// are at most a heartbeat interval apart (configure maxStale comfortably
+// above HeartbeatInterval).
+//
+// On the leader it degenerates to a local consistent read. On a replica
+// without fresh leader contact it fails with ErrStale instead of serving
+// data of unknown age.
+func (r *Raft) BoundedStaleRead(maxStale time.Duration, fn func() error) error {
+	if r.stopped() {
+		return types.ErrStopped
+	}
+	r.mu.Lock()
+	var idx uint64
+	if r.role == Leader {
+		idx = r.commitIndex
+	} else {
+		if r.staleContact.IsZero() || time.Since(r.staleContact) > maxStale {
+			r.mu.Unlock()
+			return ErrStale
+		}
+		idx = r.staleCommit
+	}
+	r.mu.Unlock()
+	if err := r.waitAppliedTimeout(idx, readWaitTimeout); err != nil {
+		return err
+	}
+	return fn()
+}
+
 // TransferLeadership asks the current leader to hand leadership to the
 // named peer (§7.2 of the paper rebalances namespace leaders across a
 // shared server pool, which needs exactly this). The leader waits

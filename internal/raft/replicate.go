@@ -412,6 +412,13 @@ func (r *Raft) handleAppendEntries(term uint64, leader string, prevIdx, prevTerm
 	}
 	r.leaderID = leader
 	r.electionReset = time.Now()
+	// Record the advertised leader commit as the bounded-staleness read
+	// point: the leader had committed leaderCommit as of this exchange,
+	// whatever the state of our log below.
+	if leaderCommit > r.staleCommit {
+		r.staleCommit = leaderCommit
+	}
+	r.staleContact = time.Now()
 
 	lastIdx, _ := r.lastLogLocked()
 	first := r.firstIndexLocked()
@@ -494,6 +501,10 @@ func (r *Raft) handleInstallSnapshot(term uint64, leader string, snapIdx, snapTe
 	}
 	r.leaderID = leader
 	r.electionReset = time.Now()
+	if snapIdx > r.staleCommit {
+		r.staleCommit = snapIdx
+	}
+	r.staleContact = time.Now()
 	if snapIdx <= r.lastApplied {
 		// Already past this snapshot.
 		defer r.mu.Unlock()

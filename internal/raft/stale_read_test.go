@@ -1,0 +1,95 @@
+package raft
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mantle/internal/faults"
+	"mantle/internal/types"
+)
+
+// The staleness promise: once a write has been committed at the leader
+// for longer than maxStale, every replica with live heartbeats must
+// observe it through BoundedStaleRead — the advertised commit index of
+// the latest exchange covers the write, so the local read point cannot
+// be older than the promise.
+func TestBoundedStaleReadSeesWritesOlderThanBound(t *testing.T) {
+	rs, recs := newTestGroup(t, 3, 1, nil) // 3 voters + 1 learner
+	leader, err := WaitLeader(rs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Propose([]byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	const maxStale = 50 * time.Millisecond
+	// Let the write age past the staleness bound (heartbeats every 10ms
+	// keep advertising the covering commit index).
+	time.Sleep(2 * maxStale)
+	for i, r := range rs {
+		err := r.BoundedStaleRead(maxStale, func() error {
+			for _, cmd := range recs[i].snapshot() {
+				if cmd == "v1" {
+					return nil
+				}
+			}
+			return errors.New("committed write v1 not visible at read point")
+		})
+		if err != nil {
+			t.Fatalf("%s (%v): BoundedStaleRead: %v", r.ID(), r.cfg.Learner, err)
+		}
+	}
+}
+
+// A replica cut off from the leader for longer than maxStale must refuse
+// the local read with ErrStale rather than serve data of unknown age.
+func TestBoundedStaleReadFailsWithoutLeaderContact(t *testing.T) {
+	inj := faults.New(1)
+	rs, _ := newPartitionGroup(t, inj)
+	leader, err := WaitLeader(rs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Propose([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	var follower *Raft
+	for _, r := range rs {
+		if r != leader {
+			follower = r
+			break
+		}
+	}
+	const maxStale = 60 * time.Millisecond
+	// Healthy heartbeats: the follower serves locally.
+	time.Sleep(2 * maxStale)
+	if err := follower.BoundedStaleRead(maxStale, func() error { return nil }); err != nil {
+		t.Fatalf("healthy follower BoundedStaleRead: %v", err)
+	}
+
+	// Isolate the follower; once its last leader contact ages past the
+	// bound, the local read must fail instead of hiding new commits.
+	pid := inj.Partition([]string{follower.ID()}, ids(rs, follower))
+	time.Sleep(2 * maxStale)
+	if _, err := leader.Propose([]byte("during-partition")); err != nil {
+		t.Fatalf("majority-side propose: %v", err)
+	}
+	err = follower.BoundedStaleRead(maxStale, func() error { return nil })
+	if !errors.Is(err, types.ErrUnavailable) {
+		t.Fatalf("partitioned BoundedStaleRead err = %v, want ErrStale (ErrUnavailable)", err)
+	}
+
+	// Healed, contact resumes and local reads work again.
+	inj.Heal(pid)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := follower.BoundedStaleRead(maxStale, func() error { return nil }); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never recovered stale reads after heal (seed %d)", inj.Seed())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -29,17 +29,18 @@ func (db *DB) CreateRoot(root types.InodeID) error {
 // GetAccess reads the access row (pid, name): the id/kind/permission of
 // the named child. One RPC to the owning shard.
 func (db *DB) GetAccess(op *rpc.Op, pid types.InodeID, name string) (types.Entry, error) {
-	si := db.shardIdx(pid)
-	p := db.parts[si]
-	db.noteRead(si, pid)
 	var out types.Entry
-	err := op.Call(p.Node, db.cfg.OpCost, func() error {
-		row, ok := p.Shard.Get(types.Key{Pid: pid, Name: name})
-		if !ok {
-			return fmt.Errorf("get %d/%s: %w", pid, name, types.ErrNotFound)
-		}
-		out = row.Entry
-		return nil
+	err := db.readRetry(pid, func(si int) error {
+		p := db.parts[si]
+		db.noteRead(si, pid)
+		return op.Call(p.Node, db.cfg.OpCost, func() error {
+			row, ok := p.Shard.Get(types.Key{Pid: pid, Name: name})
+			if !ok {
+				return fmt.Errorf("get %d/%s: %w", pid, name, types.ErrNotFound)
+			}
+			out = row.Entry
+			return nil
+		})
 	})
 	return out, err
 }
@@ -60,24 +61,25 @@ func (db *DB) StatObject(op *rpc.Op, pid types.InodeID, name string) (types.Entr
 // records into the primary attribute record — the read-side cost of the
 // delta design (§5.2.1). One RPC (primary row and deltas colocate).
 func (db *DB) StatDir(op *rpc.Op, dir types.InodeID) (types.Entry, error) {
-	si := db.shardIdx(dir)
-	p := db.parts[si]
-	db.noteRead(si, dir)
 	var out types.Entry
-	err := op.Call(p.Node, db.cfg.OpCost, func() error {
-		row, ok := p.Shard.Get(attrKey(dir))
-		if !ok {
-			return fmt.Errorf("dirstat %d: %w", dir, types.ErrNotFound)
-		}
-		out = row.Entry
-		p.Shard.Scan(
-			types.Key{Pid: dir, Name: deltaPrefix},
-			types.Key{Pid: dir, Name: childrenLo},
-			func(r storage.Row) bool {
-				foldDelta(&out, r.Entry)
-				return true
-			})
-		return nil
+	err := db.readRetry(dir, func(si int) error {
+		p := db.parts[si]
+		db.noteRead(si, dir)
+		return op.Call(p.Node, db.cfg.OpCost, func() error {
+			row, ok := p.Shard.Get(attrKey(dir))
+			if !ok {
+				return fmt.Errorf("dirstat %d: %w", dir, types.ErrNotFound)
+			}
+			out = row.Entry
+			p.Shard.Scan(
+				types.Key{Pid: dir, Name: deltaPrefix},
+				types.Key{Pid: dir, Name: childrenLo},
+				func(r storage.Row) bool {
+					foldDelta(&out, r.Entry)
+					return true
+				})
+			return nil
+		})
 	})
 	return out, err
 }
@@ -85,25 +87,27 @@ func (db *DB) StatDir(op *rpc.Op, dir types.InodeID) (types.Entry, error) {
 // ReadDir lists directory dir's children in name order. Internal
 // attribute and delta rows are excluded. One RPC.
 func (db *DB) ReadDir(op *rpc.Op, dir types.InodeID) ([]types.Entry, error) {
-	si := db.shardIdx(dir)
-	p := db.parts[si]
-	db.noteRead(si, dir)
 	var out []types.Entry
-	err := op.Call(p.Node, db.cfg.OpCost, func() error {
-		// The parent's attribute row tracks its child count (LinkCount),
-		// so the result slice can be sized once instead of grown
-		// append-by-append across a large listing.
-		if row, ok := p.Shard.Get(attrKey(dir)); ok && row.Entry.Attr.LinkCount > 0 {
-			out = make([]types.Entry, 0, row.Entry.Attr.LinkCount)
-		}
-		p.Shard.Scan(
-			types.Key{Pid: dir, Name: childrenLo},
-			types.Key{Pid: dir + 1, Name: ""},
-			func(r storage.Row) bool {
-				out = append(out, r.Entry)
-				return true
-			})
-		return nil
+	err := db.readRetry(dir, func(si int) error {
+		p := db.parts[si]
+		db.noteRead(si, dir)
+		out = nil
+		return op.Call(p.Node, db.cfg.OpCost, func() error {
+			// The parent's attribute row tracks its child count (LinkCount),
+			// so the result slice can be sized once instead of grown
+			// append-by-append across a large listing.
+			if row, ok := p.Shard.Get(attrKey(dir)); ok && row.Entry.Attr.LinkCount > 0 {
+				out = make([]types.Entry, 0, row.Entry.Attr.LinkCount)
+			}
+			p.Shard.Scan(
+				types.Key{Pid: dir, Name: childrenLo},
+				types.Key{Pid: dir + 1, Name: ""},
+				func(r storage.Row) bool {
+					out = append(out, r.Entry)
+					return true
+				})
+			return nil
+		})
 	})
 	return out, err
 }
@@ -120,8 +124,10 @@ func (db *DB) CreateObject(op *rpc.Op, parent types.InodeID, name string, size i
 		Perm: types.PermAll,
 		Attr: types.Attr{Size: size, MTime: time.Now()},
 	}
-	p := db.shardFor(parent)
 	retries, err := db.runTxn(op, parent, func(int) ([]txn.Piece, error) {
+		// Resolve routing inside the build so a retry after a directory
+		// migration targets the new home shard.
+		p := db.shardFor(parent)
 		mut, guard := db.parentAttrMutation(parent, storage.AttrDelta{LinkCount: 1, Size: size}, time.Now())
 		return []txn.Piece{{
 			P:      p,
@@ -140,8 +146,8 @@ func (db *DB) CreateObject(op *rpc.Op, parent types.InodeID, name string, size i
 
 // DeleteObject removes object name from parent.
 func (db *DB) DeleteObject(op *rpc.Op, parent types.InodeID, name string) (int, error) {
-	p := db.shardFor(parent)
 	return db.runTxn(op, parent, func(int) ([]txn.Piece, error) {
+		p := db.shardFor(parent)
 		mut, guard := db.parentAttrMutation(parent, storage.AttrDelta{LinkCount: -1}, time.Now())
 		return []txn.Piece{{
 			P:      p,
@@ -169,9 +175,9 @@ func (db *DB) Mkdir(op *rpc.Op, parent types.InodeID, name string, id types.Inod
 		Pid: id, Name: attrName, ID: id, Kind: types.KindDir, Perm: perm,
 		Attr: types.Attr{MTime: time.Now()},
 	}
-	pParent := db.shardFor(parent)
-	pDir := db.shardFor(id)
 	retries, err := db.runTxn(op, parent, func(int) ([]txn.Piece, error) {
+		pParent := db.shardFor(parent)
+		pDir := db.shardFor(id)
 		mut, guard := db.parentAttrMutation(parent, storage.AttrDelta{LinkCount: 1}, time.Now())
 		parentPiece := txn.Piece{
 			P:      pParent,
@@ -209,9 +215,9 @@ func (db *DB) Mkdir(op *rpc.Op, parent types.InodeID, name string, id types.Inod
 func (db *DB) Rmdir(op *rpc.Op, parent types.InodeID, name string, dir types.InodeID) (int, error) {
 	// Fold any outstanding deltas first so the primary row is current.
 	db.compactDir(dir)
-	pParent := db.shardFor(parent)
-	pDir := db.shardFor(dir)
 	return db.runTxn(op, parent, func(int) ([]txn.Piece, error) {
+		pParent := db.shardFor(parent)
+		pDir := db.shardFor(dir)
 		mut, guard := db.parentAttrMutation(parent, storage.AttrDelta{LinkCount: -1}, time.Now())
 		parentPiece := txn.Piece{
 			P:      pParent,
@@ -249,8 +255,6 @@ func (db *DB) Rmdir(op *rpc.Op, parent types.InodeID, name string, dir types.Ino
 func (db *DB) RenameDir(op *rpc.Op, srcParent types.InodeID, srcName string,
 	dstParent types.InodeID, dstName string, dir types.InodeID, perm types.Perm) (int, error) {
 
-	pSrc := db.shardFor(srcParent)
-	pDst := db.shardFor(dstParent)
 	access := types.Entry{
 		Pid: dstParent, Name: dstName, ID: dir, Kind: types.KindDir, Perm: perm,
 		Attr: types.Attr{MTime: time.Now()},
@@ -260,6 +264,8 @@ func (db *DB) RenameDir(op *rpc.Op, srcParent types.InodeID, srcName string,
 		contended = dstParent // rename storms typically contend on the shared destination
 	}
 	return db.runTxn(op, contended, func(int) ([]txn.Piece, error) {
+		pSrc := db.shardFor(srcParent)
+		pDst := db.shardFor(dstParent)
 		now := time.Now()
 		srcMut, srcGuard := db.parentAttrMutation(srcParent, storage.AttrDelta{LinkCount: -1}, now)
 		srcPiece := txn.Piece{
@@ -299,8 +305,8 @@ func (db *DB) RenameDir(op *rpc.Op, srcParent types.InodeID, srcName string,
 // SetDirAttr replaces directory dir's attribute record in place (setattr)
 // and returns retries consumed.
 func (db *DB) SetDirAttr(op *rpc.Op, dir types.InodeID, attr types.Attr) (int, error) {
-	p := db.shardFor(dir)
 	return db.runTxn(op, dir, func(int) ([]txn.Piece, error) {
+		p := db.shardFor(dir)
 		row, ok := p.Shard.Get(attrKey(dir))
 		if !ok {
 			return nil, fmt.Errorf("setattr %d: %w", dir, types.ErrNotFound)
@@ -382,37 +388,39 @@ func (db *DB) ReadDirPage(op *rpc.Op, dir types.InodeID, startAfter string, limi
 	if limit <= 0 {
 		limit = 1000
 	}
-	si := db.shardIdx(dir)
-	p := db.parts[si]
-	db.noteRead(si, dir)
 	var out []types.Entry
 	more := false
 	lo := childrenLo
 	if startAfter != "" {
 		lo = startAfter + "\x00" // strictly after startAfter
 	}
-	err := op.Call(p.Node, db.cfg.OpCost, func() error {
-		// Size the page once: the directory holds at most LinkCount
-		// children, and the page at most limit entries.
-		hint := limit
-		if row, ok := p.Shard.Get(attrKey(dir)); ok && row.Entry.Attr.LinkCount < int64(hint) {
-			hint = int(row.Entry.Attr.LinkCount)
-		}
-		if hint > 0 {
-			out = make([]types.Entry, 0, hint)
-		}
-		p.Shard.Scan(
-			types.Key{Pid: dir, Name: lo},
-			types.Key{Pid: dir + 1, Name: ""},
-			func(r storage.Row) bool {
-				if len(out) == limit {
-					more = true
-					return false
-				}
-				out = append(out, r.Entry)
-				return true
-			})
-		return nil
+	err := db.readRetry(dir, func(si int) error {
+		p := db.parts[si]
+		db.noteRead(si, dir)
+		out, more = nil, false
+		return op.Call(p.Node, db.cfg.OpCost, func() error {
+			// Size the page once: the directory holds at most LinkCount
+			// children, and the page at most limit entries.
+			hint := limit
+			if row, ok := p.Shard.Get(attrKey(dir)); ok && row.Entry.Attr.LinkCount < int64(hint) {
+				hint = int(row.Entry.Attr.LinkCount)
+			}
+			if hint > 0 {
+				out = make([]types.Entry, 0, hint)
+			}
+			p.Shard.Scan(
+				types.Key{Pid: dir, Name: lo},
+				types.Key{Pid: dir + 1, Name: ""},
+				func(r storage.Row) bool {
+					if len(out) == limit {
+						more = true
+						return false
+					}
+					out = append(out, r.Entry)
+					return true
+				})
+			return nil
+		})
 	})
 	next := ""
 	if more && len(out) > 0 {

@@ -190,6 +190,18 @@ type DB struct {
 	partIdx map[*txn.Participant]int
 	dirHeat *heat.TopK[types.InodeID]
 
+	// Online-migration state (migrate.go): the routing table maps
+	// migrated pids to their new home shards; gates parks writers while
+	// a directory's rows are in flight; migMu's write side drains
+	// in-flight transaction rounds before a gate is installed.
+	routing         atomic.Pointer[routingTable]
+	migMu           sync.RWMutex
+	gates           atomic.Pointer[map[types.InodeID]chan struct{}]
+	migHook         func(stage string)
+	migrations      atomic.Int64
+	migratedRows    atomic.Int64
+	migrationAborts atomic.Int64
+
 	nextID  atomic.Uint64
 	txnSeq  atomic.Uint64
 	tsSeq   atomic.Uint64
@@ -241,6 +253,9 @@ func New(cfg Config) *DB {
 		db.partIdx[p] = i
 	}
 	db.dirHeat = heat.NewTopK[types.InodeID](heatTopK)
+	db.routing.Store(&routingTable{})
+	emptyGates := map[types.InodeID]chan struct{}{}
+	db.gates.Store(&emptyGates)
 	db.wg.Add(1)
 	go db.compactLoop()
 	return db
@@ -298,11 +313,17 @@ func (db *DB) Nodes() []*netsim.Node {
 	return out
 }
 
-// shardIdx maps a pid to its shard index. Fibonacci hashing spreads
+// hashIdx is the static pid→shard hash. Fibonacci hashing spreads
 // sequential IDs.
-func (db *DB) shardIdx(pid types.InodeID) int {
+func (db *DB) hashIdx(pid types.InodeID) int {
 	h := uint64(pid) * 0x9E3779B97F4A7C15
 	return int(h % uint64(len(db.parts)))
+}
+
+// shardIdx maps a pid to its current shard index: the routing table's
+// migration override when one exists, the hash home otherwise.
+func (db *DB) shardIdx(pid types.InodeID) int {
+	return db.routing.Load().shardIdx(db, pid)
 }
 
 // shardFor maps a pid to its participant.
@@ -535,7 +556,7 @@ func (db *DB) runTxn(op *rpc.Op, contendedDir types.InodeID, build func(attempt 
 	if db.cfg.Batch2PC {
 		sp.SetAttr("2pc", "batched")
 	}
-	retries, err := txn.RunnerWithRetry(db.runner, op, db.newTxnID(), db.cfg.MaxRetries,
+	retries, err := txn.RunnerWithRetry(gatedRunner{db}, op, db.newTxnID(), db.cfg.MaxRetries,
 		db.cfg.RetryBase, db.cfg.RetryMax, wrapped)
 	db.txnLat.Observe(time.Since(start))
 	sp.End()

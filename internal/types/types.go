@@ -261,7 +261,43 @@ var (
 	// reachable quorum leader); the operation failed fast rather than
 	// hanging. Surfaced by writes during partitions.
 	ErrUnavailable = errors.New("metadata: service unavailable")
+	// ErrOverloaded: every eligible replica is saturated and the request
+	// was shed instead of queued (load-aware routing backpressure).
+	// Usually wrapped in an OverloadError carrying a retry-after hint;
+	// match with errors.Is(err, ErrOverloaded).
+	ErrOverloaded = errors.New("metadata: replica overloaded, request shed")
 )
+
+// OverloadError is the typed backpressure error returned when the
+// load-aware router sheds a request: RetryAfter is the server's estimate
+// of when capacity frees up (derived from the saturated replicas' queue
+// depth), which clients should treat as a minimum backoff.
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+// Error renders the shed notice with its retry-after hint.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrOverloaded, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Overloaded wraps a retry-after hint in an OverloadError.
+func Overloaded(retryAfter time.Duration) error {
+	return &OverloadError{RetryAfter: retryAfter}
+}
+
+// RetryAfter extracts the retry-after hint from an overload error chain
+// (0 when err is not an overload shed).
+func RetryAfter(err error) time.Duration {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
+}
 
 // Key identifies a MetaTable row: the parent directory ID plus the
 // component name. TafDB shards rows by Pid so that a directory's children

@@ -16,20 +16,37 @@ import (
 // seeded generator (rand.Zipf is not goroutine-safe), so runs are
 // deterministic for a given (workers, skew, seed).
 func ZipfObjStatOp(s api.Service, ns *Namespace, workers int, skew float64, seed int64) bench.OpFunc {
+	zipfs, workers := zipfRanks(workers, skew, seed, len(ns.ObjectPaths))
+	return func(w, seq int) (types.Result, error) {
+		paths := ns.ObjectPaths[int(zipfs[w%workers].Uint64())]
+		return s.ObjStat(s.Caller().Begin(), paths[seq%len(paths)])
+	}
+}
+
+// ZipfLookupOp resolves working-directory paths under the same Zipfian
+// popularity distribution: rank 0 is client 0's working directory, so a
+// skewed run turns one directory into a read hotspot — the workload the
+// hotspot manager's promotion/replication path is built for.
+func ZipfLookupOp(s api.Service, ns *Namespace, workers int, skew float64, seed int64) bench.OpFunc {
+	zipfs, workers := zipfRanks(workers, skew, seed, len(ns.WorkDirs))
+	return func(w, seq int) (types.Result, error) {
+		return s.Lookup(s.Caller().Begin(), ns.WorkDirs[int(zipfs[w%workers].Uint64())])
+	}
+}
+
+// zipfRanks builds one seeded Zipf rank generator per worker
+// (rand.Zipf is not goroutine-safe) over [0, ranks).
+func zipfRanks(workers int, skew float64, seed int64, ranks int) ([]*rand.Zipf, int) {
 	if skew <= 1 {
 		skew = 1.2
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	clients := len(ns.ObjectPaths)
 	zipfs := make([]*rand.Zipf, workers)
 	for w := range zipfs {
 		zipfs[w] = rand.NewZipf(rand.New(rand.NewSource(seed+int64(w))),
-			skew, 1, uint64(clients-1))
+			skew, 1, uint64(ranks-1))
 	}
-	return func(w, seq int) (types.Result, error) {
-		paths := ns.ObjectPaths[int(zipfs[w%workers].Uint64())]
-		return s.ObjStat(s.Caller().Begin(), paths[seq%len(paths)])
-	}
+	return zipfs, workers
 }

@@ -74,6 +74,21 @@ type Config struct {
 	// cross-shard 2PC — the "Mantle-base" side of the Figure 16
 	// ablation. Batching is on by default.
 	DisableWriteBatch bool
+	// Hotspot enables elastic hotspot management on the IndexNode group:
+	// directories whose read heat crosses a threshold are promoted into
+	// a hot-set served by followers and learners at a bounded-staleness
+	// read point, reads route to the least-loaded replica via
+	// piggybacked load hints, and requests are shed with ErrOverloaded
+	// once every replica saturates. Implies FollowerRead machinery for
+	// the hot paths; consistent ReadIndex reads continue to serve
+	// everything else.
+	Hotspot bool
+	// HotThreshold overrides the decayed read count at which a
+	// directory is promoted into the hot-set (0 = the production
+	// default, 512). Demotion applies at half the threshold. Lower it
+	// when the deployment's absolute read rate is small relative to
+	// production — benchmarks and tests do.
+	HotThreshold int64
 }
 
 // Cluster is a running Mantle deployment for one namespace.
@@ -122,6 +137,8 @@ func New(cfg Config) (*Cluster, error) {
 			FsyncCost:    cfg.FsyncCost,
 			BatchEnabled: !cfg.DisableWriteBatch,
 			Pipeline:     !cfg.DisableWriteBatch,
+			Hotspot:      cfg.Hotspot,
+			HotThreshold: cfg.HotThreshold,
 		},
 	})
 	if err != nil {
@@ -169,6 +186,9 @@ var (
 	ErrNotEmpty   = types.ErrNotEmpty
 	ErrLoop       = types.ErrLoop
 	ErrPermission = types.ErrPermission
+	// ErrOverloaded is returned when the deployment sheds a request under
+	// saturation; types.RetryAfter extracts the suggested backoff.
+	ErrOverloaded = types.ErrOverloaded
 )
 
 func info(path string, e types.Entry) Info {
@@ -288,6 +308,27 @@ func (c *Client) Lookup(path string) (OpStats, error) {
 // Core exposes the underlying deployment for advanced use (experiments,
 // stats). Most applications never need it.
 func (c *Cluster) Core() *core.Mantle { return c.m }
+
+// MigrateDir moves directory path's TafDB row range to the given shard
+// online (the admin surface behind mantled's /admin/migrate endpoint).
+// Returns the number of rows moved. Reads keep being served throughout;
+// writers to the directory stall for the copy window then land on the
+// new home. On error nothing moved.
+func (c *Cluster) MigrateDir(path string, shard int) (int, error) {
+	r, err := c.m.Lookup(c.m.Caller().Begin(), path)
+	if err != nil {
+		return 0, err
+	}
+	return c.m.DB().MigrateDir(c.m.Caller().Begin(), r.Entry.ID, shard)
+}
+
+// PlanMigrations proposes up to max directory moves that would flatten
+// the shard load distribution, hottest first, using the deployment's
+// heat sketches and shard load accounting. Pure read — pass each plan
+// to MigrateDir to execute it.
+func (c *Cluster) PlanMigrations(max int) []tafdb.MigrationPlan {
+	return c.m.DB().PlanMigrations(max)
+}
 
 // ListPage returns up to limit children of path whose names sort after
 // the continuation token `after` (empty to start). The second return is

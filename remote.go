@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mantle/internal/types"
 )
@@ -32,7 +34,10 @@ type remoteRequest struct {
 	Limit int
 }
 
-// remoteResponse is the wire response.
+// remoteResponse is the wire response. Load and RetryAfter were added
+// after the first protocol revision; gob ignores fields the peer does
+// not know, so old clients and servers interoperate with new ones (see
+// TestRemoteEnvelopeGobCompat).
 type remoteResponse struct {
 	ErrKind string // "" on success; sentinel kind otherwise
 	ErrMsg  string
@@ -40,6 +45,13 @@ type remoteResponse struct {
 	Infos   []Info
 	Next    string
 	Stats   OpStats
+	// Load piggybacks the serving deployment's bottleneck queue-delay
+	// EWMA (nanoseconds) on every reply, so callers can route or back
+	// off without a separate health RPC.
+	Load int64
+	// RetryAfter carries the backoff hint (nanoseconds) when ErrKind is
+	// "overloaded".
+	RetryAfter int64
 }
 
 // errKind maps an error to its stable wire kind.
@@ -58,17 +70,21 @@ func errKind(err error) string {
 		return "loop"
 	case errors.Is(err, types.ErrPermission):
 		return "permission"
+	case errors.Is(err, types.ErrOverloaded):
+		return "overloaded"
 	default:
 		return "internal"
 	}
 }
 
 // kindErr reconstructs a sentinel-wrapped error from the wire kind.
-func kindErr(kind, msg string) error {
+func kindErr(kind, msg string, retryAfter time.Duration) error {
 	var base error
 	switch kind {
 	case "":
 		return nil
+	case "overloaded":
+		return fmt.Errorf("%s: %w", msg, types.Overloaded(retryAfter))
 	case "notfound":
 		base = ErrNotFound
 	case "exists":
@@ -109,6 +125,7 @@ func serveConn(conn net.Conn, cl *Cluster) {
 			return // EOF or broken peer
 		}
 		resp := dispatch(c, &req)
+		resp.Load = int64(cl.m.Index().LoadHint())
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -121,6 +138,7 @@ func dispatch(c *Client, req *remoteRequest) *remoteResponse {
 		resp.ErrKind = errKind(err)
 		if err != nil {
 			resp.ErrMsg = err.Error()
+			resp.RetryAfter = int64(types.RetryAfter(err))
 		}
 		return resp
 	}
@@ -174,6 +192,7 @@ type RemoteClient struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	load atomic.Int64 // last piggybacked server load hint (ns)
 }
 
 // Dial connects to a Serve endpoint.
@@ -205,7 +224,16 @@ func (r *RemoteClient) call(req *remoteRequest) (*remoteResponse, error) {
 		}
 		return nil, fmt.Errorf("remote recv: %w", err)
 	}
-	return &resp, kindErr(resp.ErrKind, resp.ErrMsg)
+	r.load.Store(resp.Load)
+	return &resp, kindErr(resp.ErrKind, resp.ErrMsg, time.Duration(resp.RetryAfter))
+}
+
+// LoadHint returns the server's load estimate piggybacked on the most
+// recent reply: the deployment's bottleneck queue delay. Zero means an
+// idle server (or no completed call yet). Pools use it to prefer the
+// least-loaded endpoint and to pace retries after ErrOverloaded.
+func (r *RemoteClient) LoadHint() time.Duration {
+	return time.Duration(r.load.Load())
 }
 
 // Create inserts an object.
