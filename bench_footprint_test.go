@@ -1,0 +1,102 @@
+// Shard-footprint benchmarks: the packed-row representation against an
+// honest reconstruction of the pre-compaction one (boxed *Row values
+// carrying full entries with their own Pid/Name copies, inserted with
+// sequential Put into ~half-full nodes, names not interned). Both build
+// the same 1M-entry namespace shape — 256-entry directories with names
+// drawn from a 256-name working set, the same shape the scale sweep
+// populates — and report bytes/entry from measured heap growth. The
+// committed BENCH_PR9.json carries both numbers; the claim is >= 2x.
+package mantle_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mantle/internal/bench"
+	"mantle/internal/btree"
+	"mantle/internal/intern"
+	"mantle/internal/storage"
+	"mantle/internal/types"
+)
+
+const footprintEntries = 1 << 20
+
+func footprintKey(names []string, i int) types.Key {
+	return types.Key{
+		Pid:  types.InodeID(2 + i/256),
+		Name: names[i%256],
+	}
+}
+
+func footprintNames() []string {
+	names := make([]string, 256)
+	for i := range names {
+		names[i] = fmt.Sprintf("part-%05d", i)
+	}
+	return names
+}
+
+func footprintEntry(k types.Key, i int) types.Entry {
+	return types.Entry{
+		Pid: k.Pid, Name: k.Name,
+		ID: types.InodeID(1 << 30), Kind: types.KindObject,
+		Perm: types.PermAll, Attr: types.Attr{Size: int64(i), LinkCount: 1},
+	}
+}
+
+func BenchmarkShardFootprintPacked(b *testing.B) {
+	names := footprintNames()
+	for i, n := range names {
+		names[i] = intern.Intern(n) // population interns names (tafdb.BulkInsert)
+	}
+	heap0 := bench.Heap()
+	s := storage.NewShard("packed")
+	s.BulkLoad(footprintEntries, func(i int) (types.Key, types.Entry) {
+		k := footprintKey(names, i)
+		return k, footprintEntry(k, i)
+	})
+	grown := bench.Heap().Sub(heap0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(footprintKey(names, i%footprintEntries)); !ok {
+			b.Fatal("missing row")
+		}
+	}
+	b.StopTimer() // ResetTimer clears reported metrics; report after the loop
+	bench.ReportHeapGrowth(b, grown, footprintEntries)
+	runtime.KeepAlive(s)
+}
+
+// boxedRow is the pre-compaction representation: the full Entry (two
+// string headers, time.Time, padding) plus version, boxed behind a
+// pointer in the B-tree.
+type boxedRow struct {
+	Entry   types.Entry
+	Version uint64
+}
+
+func BenchmarkShardFootprintBoxed(b *testing.B) {
+	names := footprintNames()
+	heap0 := bench.Heap()
+	t := btree.New[types.Key, *boxedRow](func(a, b types.Key) bool { return a.Less(b) })
+	for i := 0; i < footprintEntries; i++ {
+		k := footprintKey(names, i)
+		// One name allocation per row, as the old path retained (keys and
+		// entries each held a copy of the string header, both pointing at
+		// a per-insert allocation).
+		k.Name = string(append([]byte(nil), k.Name...))
+		e := footprintEntry(k, i)
+		t.Put(k, &boxedRow{Entry: e, Version: 1})
+	}
+	grown := bench.Heap().Sub(heap0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Get(footprintKey(names, i%footprintEntries)); !ok {
+			b.Fatal("missing row")
+		}
+	}
+	b.StopTimer()
+	bench.ReportHeapGrowth(b, grown, footprintEntries)
+	runtime.KeepAlive(t)
+}

@@ -13,6 +13,12 @@
 // the benchmark name, GOMAXPROCS suffix, iteration count, and every
 // reported metric pair (ns/op, B/op, allocs/op, custom ReportMetric
 // units such as coalesced/op).
+//
+// Repeated lines for the same benchmark (a `-count=N` run) collapse to
+// one entry holding the per-metric median, benchstat-style: on a shared
+// host a single noisy minute can double a latency quantile, and the
+// median across repetitions spread over the run is robust to one such
+// window where any single sample is not.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -75,10 +82,75 @@ func parse(r io.Reader) ([]Bench, error) {
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		if b, ok := parseBenchLine(sc.Text()); ok {
+			derive(b)
 			out = append(out, b)
 		}
 	}
-	return out, sc.Err()
+	return aggregate(out), sc.Err()
+}
+
+// aggregate collapses repeated (name, procs) lines — a -count=N run —
+// into one entry per benchmark with the median of each metric. Samples
+// missing a metric reported by the others are simply absent from that
+// metric's median.
+func aggregate(benches []Bench) []Bench {
+	type key struct {
+		name  string
+		procs int
+	}
+	groups := map[key][]Bench{}
+	var order []key
+	for _, b := range benches {
+		k := key{b.Name, b.Procs}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	out := make([]Bench, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		m := Bench{Name: k.name, Procs: k.procs, Metrics: map[string]float64{}}
+		units := map[string][]float64{}
+		for _, b := range g {
+			m.Iterations += b.Iterations
+			for u, v := range b.Metrics {
+				units[u] = append(units[u], v)
+			}
+		}
+		for u, vs := range units {
+			m.Metrics[u] = median(vs)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// derive fills in metrics computable from reported ones: bytes/entry
+// from the raw heap-bytes and entries pair (bench.ReportHeap reports all
+// three, but hand-rolled benchmarks may report only the raw inputs).
+func derive(b Bench) {
+	if _, ok := b.Metrics["bytes/entry"]; ok {
+		return
+	}
+	hb, okH := b.Metrics["heap-bytes"]
+	en, okE := b.Metrics["entries"]
+	if okH && okE && en > 0 {
+		b.Metrics["bytes/entry"] = hb / en
+	}
 }
 
 func main() {

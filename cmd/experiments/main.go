@@ -27,6 +27,7 @@ func main() {
 		objects = flag.Int("objects", 40, "pre-populated objects per client")
 		depth   = flag.Int("depth", 10, "working directory depth")
 		rtt     = flag.Duration("rtt", 200*time.Microsecond, "simulated per-RPC round trip")
+		entries = flag.Int("entries", 0, "namespace-size cap for the 'scale' flatness sweep (default 1M; try 10000000)")
 		quick   = flag.Bool("quick", false, "tiny smoke-test scale")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		metrics = flag.String("metrics-out", "", "file receiving per-system metrics dumps (tail latencies, RPC counters, fabric edges)")
@@ -55,6 +56,7 @@ func main() {
 		PerClient:        *per,
 		ObjectsPerClient: *objects,
 		Depth:            *depth,
+		ScaleEntries:     *entries,
 		Quick:            *quick,
 	}
 	if *metrics != "" {

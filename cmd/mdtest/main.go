@@ -22,6 +22,7 @@ import (
 
 	"mantle/internal/bench"
 	"mantle/internal/experiments"
+	"mantle/internal/netsim"
 	"mantle/internal/trace"
 	"mantle/internal/types"
 	"mantle/internal/workload"
@@ -35,6 +36,7 @@ func main() {
 		clients  = flag.Int("clients", 256, "client concurrency")
 		per      = flag.Int("per", 50, "operations per client")
 		objects  = flag.Int("objects", 40, "pre-populated objects per client")
+		entries  = flag.Int("entries", 0, "populate a flat bulk-loaded namespace of this many entries instead of the mdtest tree (objstat/lookup only; try 10000000)")
 		depth    = flag.Int("depth", 10, "working directory depth")
 		rtt      = flag.Duration("rtt", 200*time.Microsecond, "simulated per-RPC round trip")
 		skew     = flag.Float64("skew", 0, "Zipf skew for lookup/objstat traffic (0 = uniform; try 1.2)")
@@ -59,6 +61,38 @@ func main() {
 			opts.MantleLearners = 2
 		}
 	}
+	if *entries > 0 {
+		// The flatness-sweep population: a flat bulk-loaded namespace of
+		// -entries total entries, lean enough to reach 10M+ on one machine.
+		if *op != "objstat" && *op != "lookup" {
+			fatal(fmt.Errorf("-entries supports only -op objstat or lookup (got %q)", *op))
+		}
+		fabric := netsim.NewFabric(netsim.Config{RTT: p.RTT})
+		s, err := experiments.NewSystem(*system, fabric, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer s.Stop()
+		sn := workload.BuildScale(*entries)
+		heap0 := bench.Heap()
+		popStart := time.Now()
+		if err := sn.Populate(s); err != nil {
+			fatal(err)
+		}
+		grown := bench.Heap().Sub(heap0)
+		fmt.Printf("populated %d entries in %v (%.0f resident bytes/entry)\n",
+			sn.Entries(), time.Since(popStart).Round(time.Millisecond),
+			float64(grown.HeapAlloc)/float64(sn.Entries()))
+		fn := sn.StatOp(s)
+		if *op == "lookup" {
+			fn = sn.LookupOp(s)
+		}
+		_ = bench.RunN(p.Clients, 2, fn) // warm round
+		res := bench.RunN(p.Clients, p.PerClient, fn)
+		printRun(*system, *op, "-scale", p, res)
+		return
+	}
+
 	s, ns, err := experiments.BuildPopulated(*system, p, opts)
 	if err != nil {
 		fatal(err)
@@ -129,21 +163,7 @@ func main() {
 	if shared {
 		mode = "-s"
 	}
-	fmt.Printf("%s %s%s: %d clients x %d ops, wall %v\n",
-		*system, *op, mode, p.Clients, p.PerClient, res.Wall.Round(time.Millisecond))
-	fmt.Printf("  throughput : %s (%d ops, %d errors, %d retries)\n",
-		bench.Kops(res.Throughput), res.Ops, res.Errors, res.Retries)
-	fmt.Printf("  latency    : mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
-		res.Latency.Mean().Round(time.Microsecond),
-		res.Latency.Quantile(0.5).Round(time.Microsecond),
-		res.Latency.Quantile(0.95).Round(time.Microsecond),
-		res.Latency.Quantile(0.99).Round(time.Microsecond),
-		res.Latency.Max().Round(time.Microsecond))
-	fmt.Printf("  breakdown  : lookup %v  loopdetect %v  execute %v\n",
-		res.MeanPhase(types.PhaseLookup).Round(time.Microsecond),
-		res.MeanPhase(types.PhaseLoopDetect).Round(time.Microsecond),
-		res.MeanPhase(types.PhaseExecute).Round(time.Microsecond))
-	fmt.Printf("  RPCs/op    : %.1f\n", res.MeanRTTs())
+	printRun(*system, *op, mode, p, res)
 
 	if *doTrace {
 		// One traced lookup of a worker's working-directory path shows
@@ -170,6 +190,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mdtest: -heat-report: %s exposes no heat plane\n", *system)
 		}
 	}
+}
+
+func printRun(system, op, mode string, p experiments.Params, res bench.RunResult) {
+	fmt.Printf("%s %s%s: %d clients x %d ops, wall %v\n",
+		system, op, mode, p.Clients, p.PerClient, res.Wall.Round(time.Millisecond))
+	fmt.Printf("  throughput : %s (%d ops, %d errors, %d retries)\n",
+		bench.Kops(res.Throughput), res.Ops, res.Errors, res.Retries)
+	fmt.Printf("  latency    : mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+		res.Latency.Mean().Round(time.Microsecond),
+		res.Latency.Quantile(0.5).Round(time.Microsecond),
+		res.Latency.Quantile(0.95).Round(time.Microsecond),
+		res.Latency.Quantile(0.99).Round(time.Microsecond),
+		res.Latency.Max().Round(time.Microsecond))
+	fmt.Printf("  breakdown  : lookup %v  loopdetect %v  execute %v\n",
+		res.MeanPhase(types.PhaseLookup).Round(time.Microsecond),
+		res.MeanPhase(types.PhaseLoopDetect).Round(time.Microsecond),
+		res.MeanPhase(types.PhaseExecute).Round(time.Microsecond))
+	fmt.Printf("  RPCs/op    : %.1f\n", res.MeanRTTs())
 }
 
 func fatal(err error) {

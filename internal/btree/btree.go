@@ -16,6 +16,7 @@ type Tree[K, V any] struct {
 	less   func(a, b K) bool
 	root   *node[K, V]
 	length int
+	arena  arena[K, V] // slab allocator + freelist for nodes (arena.go)
 }
 
 type node[K, V any] struct {
@@ -80,17 +81,40 @@ func (t *Tree[K, V]) Get(k K) (V, bool) {
 	return zero, false
 }
 
+// Ref returns a pointer to the value slot stored under k, or nil when k
+// is absent. The pointer lets callers mutate a stored value in place
+// without the copy-out/copy-in of Get+Put — the shard delta-attr path.
+// It is invalidated by ANY subsequent mutation of the tree (Put, Delete,
+// BulkLoad): rebalancing moves values between slab slots.
+func (t *Tree[K, V]) Ref(k K) *V {
+	n := t.root
+	for n != nil {
+		i, ok := t.search(n, k)
+		if ok {
+			return &n.values[i]
+		}
+		if n.children == nil {
+			break
+		}
+		n = n.children[i]
+	}
+	return nil
+}
+
 // Put inserts or replaces the value under k. It reports whether a new key
 // was inserted (false means an existing value was replaced).
 func (t *Tree[K, V]) Put(k K, v V) bool {
 	if t.root == nil {
-		t.root = &node[K, V]{keys: []K{k}, values: []V{v}}
+		t.root = t.newNode(true)
+		t.root.keys = append(t.root.keys, k)
+		t.root.values = append(t.root.values, v)
 		t.length = 1
 		return true
 	}
 	if len(t.root.keys) == 2*t.degree-1 {
 		old := t.root
-		t.root = &node[K, V]{children: []*node[K, V]{old}}
+		t.root = t.newNode(false)
+		t.root.children = append(t.root.children, old)
 		t.splitChild(t.root, 0)
 	}
 	inserted := t.insertNonFull(t.root, k, v)
@@ -104,15 +128,17 @@ func (t *Tree[K, V]) splitChild(parent *node[K, V], i int) {
 	deg := t.degree
 	child := parent.children[i]
 	mid := deg - 1
-	right := &node[K, V]{
-		keys:   append([]K(nil), child.keys[mid+1:]...),
-		values: append([]V(nil), child.values[mid+1:]...),
-	}
+	right := t.newNode(child.children == nil)
+	right.keys = append(right.keys, child.keys[mid+1:]...)
+	right.values = append(right.values, child.values[mid+1:]...)
 	if child.children != nil {
-		right.children = append([]*node[K, V](nil), child.children[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		clear(child.children[mid+1:])
 		child.children = child.children[:mid+1]
 	}
 	upKey, upVal := child.keys[mid], child.values[mid]
+	clear(child.keys[mid:])
+	clear(child.values[mid:])
 	child.keys = child.keys[:mid]
 	child.values = child.values[:mid]
 
@@ -165,11 +191,13 @@ func (t *Tree[K, V]) Delete(k K) bool {
 	}
 	deleted := t.delete(t.root, k)
 	if len(t.root.keys) == 0 {
-		if t.root.children != nil {
-			t.root = t.root.children[0]
+		old := t.root
+		if old.children != nil {
+			t.root = old.children[0]
 		} else {
 			t.root = nil
 		}
+		t.freeNode(old)
 	}
 	if deleted {
 		t.length--
@@ -186,6 +214,8 @@ func (t *Tree[K, V]) delete(n *node[K, V], k K) bool {
 		}
 		n.keys = append(n.keys[:i], n.keys[i+1:]...)
 		n.values = append(n.values[:i], n.values[i+1:]...)
+		clear(n.keys[len(n.keys) : len(n.keys)+1])
+		clear(n.values[len(n.values) : len(n.values)+1])
 		return true
 	}
 	if ok {
@@ -252,11 +282,14 @@ func (t *Tree[K, V]) rotateRight(n *node[K, V], i int) {
 	n.values[i-1] = left.values[len(left.values)-1]
 	left.keys = left.keys[:len(left.keys)-1]
 	left.values = left.values[:len(left.values)-1]
+	clear(left.keys[len(left.keys) : len(left.keys)+1])
+	clear(left.values[len(left.values) : len(left.values)+1])
 	if child.children != nil {
 		child.children = append(child.children, nil)
 		copy(child.children[1:], child.children)
 		child.children[0] = left.children[len(left.children)-1]
 		left.children = left.children[:len(left.children)-1]
+		clear(left.children[len(left.children) : len(left.children)+1])
 	}
 }
 
@@ -270,13 +303,17 @@ func (t *Tree[K, V]) rotateLeft(n *node[K, V], i int) {
 	n.values[i] = right.values[0]
 	right.keys = append(right.keys[:0], right.keys[1:]...)
 	right.values = append(right.values[:0], right.values[1:]...)
+	clear(right.keys[len(right.keys) : len(right.keys)+1])
+	clear(right.values[len(right.values) : len(right.values)+1])
 	if child.children != nil {
 		child.children = append(child.children, right.children[0])
 		right.children = append(right.children[:0], right.children[1:]...)
+		clear(right.children[len(right.children) : len(right.children)+1])
 	}
 }
 
-// merge folds n.keys[i] and children[i+1] into children[i].
+// merge folds n.keys[i] and children[i+1] into children[i]; the emptied
+// right node is recycled through the arena freelist.
 func (t *Tree[K, V]) merge(n *node[K, V], i int) {
 	child, right := n.children[i], n.children[i+1]
 	child.keys = append(child.keys, n.keys[i])
@@ -289,6 +326,10 @@ func (t *Tree[K, V]) merge(n *node[K, V], i int) {
 	n.keys = append(n.keys[:i], n.keys[i+1:]...)
 	n.values = append(n.values[:i], n.values[i+1:]...)
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	clear(n.keys[len(n.keys) : len(n.keys)+1])
+	clear(n.values[len(n.values) : len(n.values)+1])
+	clear(n.children[len(n.children) : len(n.children)+1])
+	t.freeNode(right)
 }
 
 // Ascend calls fn for every entry in key order until fn returns false.

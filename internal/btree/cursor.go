@@ -1,0 +1,138 @@
+package btree
+
+// Cursor is a reusable in-order iterator. The recursive
+// Ascend/AscendRange visitors force every caller to allocate a closure
+// per scan (and the compiler to heap-allocate whatever state the closure
+// captures); on the readdir hot path that is one garbage object per
+// directory listing. A Cursor holds its descent stack in a reusable
+// slice, so a pooled cursor performs zero allocations per scan after
+// warm-up.
+//
+// Usage:
+//
+//	var c btree.Cursor[K, V]
+//	for c.Seek(tree, lo); c.Valid() && tree.Less(c.Key(), hi); c.Next() {
+//	    use(c.Key(), c.Value())
+//	}
+//
+// A cursor is a read-only view: it is bound to a tree by Seek/SeekFirst
+// and is invalidated by any mutation of that tree (or by the tree being
+// replaced wholesale, as in shard crash/recovery) — re-Seek after either.
+// Cursors share the tree's concurrency contract (external locking).
+type Cursor[K, V any] struct {
+	t     *Tree[K, V]
+	stack []cursorFrame[K, V]
+}
+
+// cursorFrame records one node on the descent path. For the top frame,
+// n.keys[i] is the current entry; for interior frames, n.keys[i] is the
+// next entry to yield once the subtree below is exhausted (i may equal
+// len(n.keys), meaning the frame is spent and will be popped).
+type cursorFrame[K, V any] struct {
+	n *node[K, V]
+	i int
+}
+
+// Seek positions c at the first entry with key >= lo.
+func (c *Cursor[K, V]) Seek(t *Tree[K, V], lo K) {
+	c.t = t
+	c.stack = c.stack[:0]
+	n := t.root
+	for n != nil {
+		i, _ := t.search(n, lo)
+		c.stack = append(c.stack, cursorFrame[K, V]{n, i})
+		if n.children == nil {
+			break
+		}
+		n = n.children[i]
+	}
+	c.pop()
+}
+
+// SeekFirst positions c at the smallest entry of t.
+func (c *Cursor[K, V]) SeekFirst(t *Tree[K, V]) {
+	c.t = t
+	c.stack = c.stack[:0]
+	n := t.root
+	for n != nil {
+		c.stack = append(c.stack, cursorFrame[K, V]{n, 0})
+		if n.children == nil {
+			break
+		}
+		n = n.children[0]
+	}
+}
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *Cursor[K, V]) Valid() bool { return len(c.stack) > 0 }
+
+// Key returns the current entry's key. Only valid when Valid().
+func (c *Cursor[K, V]) Key() K {
+	f := &c.stack[len(c.stack)-1]
+	return f.n.keys[f.i]
+}
+
+// Value returns the current entry's value. Only valid when Valid().
+func (c *Cursor[K, V]) Value() V {
+	f := &c.stack[len(c.stack)-1]
+	return f.n.values[f.i]
+}
+
+// ValueRef returns a pointer to the current entry's value slot, valid
+// until the next tree mutation. Only valid when Valid().
+func (c *Cursor[K, V]) ValueRef() *V {
+	f := &c.stack[len(c.stack)-1]
+	return &f.n.values[f.i]
+}
+
+// Next advances to the next entry in key order. Past the last entry the
+// cursor becomes invalid.
+func (c *Cursor[K, V]) Next() {
+	if len(c.stack) == 0 {
+		return
+	}
+	top := &c.stack[len(c.stack)-1]
+	n, i := top.n, top.i
+	if n.children == nil {
+		top.i++
+		c.pop()
+		return
+	}
+	// The successor of an interior entry is the leftmost entry of the
+	// subtree to its right.
+	top.i++
+	m := n.children[i+1]
+	for {
+		c.stack = append(c.stack, cursorFrame[K, V]{m, 0})
+		if m.children == nil {
+			return
+		}
+		m = m.children[0]
+	}
+}
+
+// pop discards spent frames until the top frame points at an entry.
+func (c *Cursor[K, V]) pop() {
+	for len(c.stack) > 0 {
+		f := &c.stack[len(c.stack)-1]
+		if f.i < len(f.n.keys) {
+			return
+		}
+		f.n = nil // don't pin nodes from the popped tail
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+}
+
+// Reset detaches the cursor from its tree and clears retained node
+// pointers, so pooled cursors do not pin a discarded tree's memory.
+func (c *Cursor[K, V]) Reset() {
+	c.t = nil
+	for i := range c.stack {
+		c.stack[i].n = nil
+	}
+	c.stack = c.stack[:0]
+}
+
+// Less exposes the tree's ordering so range loops can bound a cursor
+// without duplicating the comparison function.
+func (t *Tree[K, V]) Less(a, b K) bool { return t.less(a, b) }

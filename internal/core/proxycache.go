@@ -106,6 +106,9 @@ func (c *proxyCache) put(path string, res indexnode.LookupResult, epoch0 uint64)
 	if c.epoch.Load() != epoch0 {
 		return // an invalidation raced the RPC; the result may be stale
 	}
+	// Retention-safe key: don't let the cache pin the caller's request
+	// path, and share the backing across stripes and repeated fills.
+	path = pathutil.Intern(path)
 	c.prefix.Insert(path)
 	s := c.stripeFor(path)
 	s.mu.Lock()

@@ -49,6 +49,9 @@ type Params struct {
 	Depth int
 	// Quick shrinks everything for smoke tests.
 	Quick bool
+	// ScaleEntries caps the namespace size of the "scale" flatness sweep
+	// (default 1M; the committed BENCH_PR9.json runs it at 10M).
+	ScaleEntries int
 	// MetricsOut, when non-nil, receives a per-system observability dump
 	// (metrics registry, RPC counters, fabric edge registry) after each
 	// system finishes its measurement.
@@ -77,6 +80,9 @@ func (p Params) WithDefaults() Params {
 	}
 	if p.Depth <= 0 {
 		p.Depth = 10
+	}
+	if p.ScaleEntries <= 0 {
+		p.ScaleEntries = 1_000_000
 	}
 	if p.Quick {
 		p.Clients = min(p.Clients, 16)

@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig4a", "fig4b", "tab1", "tab2",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19a", "fig19b", "fig20", "tab3",
-		"heat",
+		"heat", "scale",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

@@ -31,6 +31,7 @@ var Registry = map[string]Func{
 	"fig20":  Fig20,
 	"tab3":   Table3,
 	"heat":   Heat,
+	"scale":  Scale,
 }
 
 // All returns the experiment ids in a stable order.

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mantle/internal/bench"
+	"mantle/internal/netsim"
+	"mantle/internal/workload"
+)
+
+// Scale is the namespace-size flatness sweep at real storage scale — the
+// Figure 19a claim ("throughput is flat from 1 to 10 billion entries")
+// checked against actual per-entry storage rather than the scaled-down
+// experiment population. It builds namespaces of 100K up to
+// Params.ScaleEntries entries through the bulk-load fast path, then
+// reports objstat throughput, p50/p99 latency, and resident bytes per
+// entry at each size. Flat p50/p99 across two orders of magnitude of
+// namespace size is the pass condition; bytes/entry is the capacity
+// story (how many entries fit in one metadata node's RAM).
+func Scale(p Params) error {
+	p = p.WithDefaults()
+	sizes := []int{100_000, 1_000_000, 10_000_000}
+	if p.Quick {
+		sizes = []int{20_000, 60_000}
+	}
+	var run []int
+	for _, n := range sizes {
+		if n <= p.ScaleEntries {
+			run = append(run, n)
+		}
+	}
+	if len(run) == 0 {
+		run = []int{p.ScaleEntries}
+	}
+
+	clients := min(p.Clients, 64)
+	rows := [][]string{}
+	var p99base time.Duration
+	for _, n := range run {
+		heap0 := bench.Heap()
+		fabric := netsim.NewFabric(netsim.Config{RTT: p.RTT})
+		s, err := NewSystem("mantle", fabric, DefaultMantleOpts())
+		if err != nil {
+			return err
+		}
+		sn := workload.BuildScale(n)
+		popStart := time.Now()
+		if err := sn.Populate(s); err != nil {
+			s.Stop()
+			return fmt.Errorf("scale %d: populate: %w", n, err)
+		}
+		popWall := time.Since(popStart)
+		grown := bench.Heap().Sub(heap0)
+		bytesPerEntry := float64(grown.HeapAlloc) / float64(sn.Entries())
+
+		_ = bench.RunN(clients, 2, sn.StatOp(s)) // warm round
+		res := bench.RunN(clients, p.PerClient, sn.StatOp(s))
+		s.Stop()
+		if res.Errors > 0 {
+			return fmt.Errorf("scale %d: %d errors", n, res.Errors)
+		}
+		p99 := res.Latency.Quantile(0.99)
+		if p99base == 0 {
+			p99base = p99
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", sn.Entries()),
+			popWall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", bytesPerEntry),
+			bench.Kops(res.Throughput),
+			res.Latency.Quantile(0.5).Round(time.Microsecond).String(),
+			p99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", ratio(p99, p99base)),
+		})
+	}
+	bench.Table(p.Out, fmt.Sprintf("Scale: objstat flatness vs namespace size (%d clients; p99 normalised to smallest)", clients),
+		[]string{"entries", "populate", "bytes/entry", "objstat", "p50", "p99", "p99 vs base"}, rows)
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mantle/internal/pathutil"
 	"mantle/internal/types"
 )
 
@@ -68,10 +69,17 @@ func (c *TopDirPathCache) Get(prefix string) (CacheEntry, bool) {
 	return e, ok
 }
 
-// Put stores the resolution of prefix.
+// Put stores the resolution of prefix. A fresh key is interned: callers
+// pass prefixes sliced from request paths (TruncateRel), and a map key
+// that is a substring would pin the whole path for the cache entry's
+// lifetime. Existing keys are left alone — Go maps keep the original
+// key string on overwrite.
 func (c *TopDirPathCache) Put(prefix string, e CacheEntry) {
 	s := c.stripeFor(prefix)
 	s.mu.Lock()
+	if _, ok := s.m[prefix]; !ok {
+		prefix = pathutil.Intern(prefix)
+	}
 	s.m[prefix] = e
 	s.mu.Unlock()
 }

@@ -130,6 +130,19 @@ func TestHotspotReadMixAccounting(t *testing.T) {
 	}()
 	wg.Wait()
 
+	// On a slow or single-CPU host the workers can drain before the
+	// 10ms promotion tick ever fires, leaving the hot path untaken.
+	// Keep the skewed traffic flowing (still counted in ok, so the
+	// read-mix invariant below covers these lookups too) until the
+	// promotion loop catches up.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.hotReads.Load() == 0 && time.Now().Before(deadline) {
+		if _, err := g.Lookup(caller.Begin(), "/d0"); err == nil {
+			ok.Add(1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	leader, follower, learner := g.ReadMix()
 	if got, want := leader+follower+learner, ok.Load(); got != want {
 		t.Fatalf("read mix %d+%d+%d = %d, want %d successful reads",

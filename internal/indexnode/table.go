@@ -3,6 +3,7 @@ package indexnode
 import (
 	"sync"
 
+	"mantle/internal/intern"
 	"mantle/internal/types"
 )
 
@@ -77,7 +78,11 @@ func (t *IndexTable) GetByID(id types.InodeID) (types.AccessEntry, bool) {
 }
 
 // Put inserts or replaces the entry, reporting whether it was new.
+// The component name is interned: every replica of the group (and the
+// TafDB access row, and any cache keys) then shares one string backing
+// for the same directory name instead of one copy per table.
 func (t *IndexTable) Put(e types.AccessEntry) bool {
+	e.Name = intern.Intern(e.Name)
 	fresh := false
 	fwd := t.stripeFor(e.Pid)
 	fwd.mu.Lock()

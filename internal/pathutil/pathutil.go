@@ -8,7 +8,26 @@
 // (except the root itself, "/").
 package pathutil
 
-import "strings"
+import (
+	"strings"
+
+	"mantle/internal/intern"
+)
+
+// Intern returns a retention-safe form of a path or component string.
+// Nearly every string this package hands out — Base, Rel, TruncateRel
+// prefixes, Split components — is a substring of a caller's path, so
+// storing one in a long-lived map or struct pins the whole original
+// allocation. Short strings (up to intern.MaxLen) are deduplicated
+// through the process-wide intern table, which copies on first sight;
+// longer ones are cloned. Either way the result is safe to retain
+// indefinitely.
+func Intern(s string) string {
+	if len(s) <= intern.MaxLen {
+		return intern.Intern(s)
+	}
+	return strings.Clone(s)
+}
 
 // Clean normalises p to canonical form: leading slash, no duplicate or
 // trailing slashes, no "." components. It does not resolve "..", which is

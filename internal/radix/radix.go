@@ -54,7 +54,10 @@ func (t *Tree) Insert(path string) bool {
 		child, ok := n.children[c]
 		if !ok {
 			child = newNode()
-			n.children[c] = child
+			// Intern the edge label: c is a substring of path, and a
+			// long-lived map key sliced from a request path would pin the
+			// whole path allocation.
+			n.children[pathutil.Intern(c)] = child
 		}
 		n = child
 	}

@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"time"
+
+	"mantle/internal/types"
+)
+
+// packedRow is the in-tree representation of one MetaTable row: a
+// 48-byte fixed-layout value stored directly in the B-tree's slab-backed
+// value arrays. The previous representation boxed every row —
+// tree[K]*Row with a 96-byte heap object per row plus its own copies of
+// Pid and Name — costing ~150 resident bytes and one GC-traced object
+// per entry. The packed form exploits two invariants:
+//
+//   - Entries mirror their row key: every writer stores Entry.Pid/Name
+//     equal to Key.Pid/Name (tafdb, the baselines, and the delta-record
+//     protocol all construct rows this way), so the key columns are not
+//     duplicated in the value — they are reconstructed at decode time.
+//   - time.Time's wall/monotonic/location machinery is wasted on stored
+//     rows; MTime round-trips through UnixNano (IsZero is preserved via
+//     a 0 sentinel; the monotonic reading and location are shed, which
+//     no reader of stored rows relies on).
+//
+// Rows are decoded on demand into a caller-owned types.Entry (see
+// packedRow.entry), so the hot stat path performs zero row allocations.
+type packedRow struct {
+	id      uint64 // types.InodeID
+	size    int64
+	link    int64
+	mtime   int64 // UnixNano; 0 means the zero time.Time
+	version uint64
+	owner   uint32
+	perm    uint16 // types.Perm
+	kind    uint8  // types.EntryKind
+}
+
+// packTime converts an MTime for storage.
+func packTime(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// unpackTime is packTime's inverse (UTC; wall clock only).
+func unpackTime(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// pack converts an entry (whose Pid/Name are carried by the row key) and
+// version into the stored form.
+func pack(e types.Entry, version uint64) packedRow {
+	return packedRow{
+		id:      uint64(e.ID),
+		size:    e.Attr.Size,
+		link:    e.Attr.LinkCount,
+		mtime:   packTime(e.Attr.MTime),
+		version: version,
+		owner:   e.Attr.Owner,
+		perm:    uint16(e.Perm),
+		kind:    uint8(e.Kind),
+	}
+}
+
+// entry reconstructs the full entry for the row stored under k.
+func (p *packedRow) entry(k types.Key) types.Entry {
+	return types.Entry{
+		Pid:  k.Pid,
+		Name: k.Name,
+		ID:   types.InodeID(p.id),
+		Kind: types.EntryKind(p.kind),
+		Perm: types.Perm(p.perm),
+		Attr: types.Attr{
+			Size:      p.size,
+			LinkCount: p.link,
+			MTime:     unpackTime(p.mtime),
+			Owner:     p.owner,
+		},
+	}
+}
+
+// row reconstructs the public Row for the row stored under k.
+func (p *packedRow) row(k types.Key) Row {
+	return Row{Entry: p.entry(k), Version: p.version}
+}

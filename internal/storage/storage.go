@@ -131,19 +131,30 @@ func (st *txnState) release() {
 // read path — stat, readdir, delta-record scans — proceeds concurrently
 // across goroutines; 2PC prepare/commit/abort and relaxed applies take
 // it exclusively.
+//
+// Rows are stored packed: the B-tree maps each key to a 48-byte
+// fixed-layout packedRow value (see packed.go) rather than a boxed *Row,
+// and public reads decode on demand into caller-owned values.
 type Shard struct {
 	id string
 
 	mu      sync.RWMutex
-	rows    *btree.Tree[types.Key, *Row]
+	rows    *btree.Tree[types.Key, packedRow]
 	locks   map[types.Key]*rowLock
 	txns    map[string]*txnState
 	wal     *WAL
 	crashed bool
 }
 
-func newRowTree() *btree.Tree[types.Key, *Row] {
-	return btree.New[types.Key, *Row](func(a, b types.Key) bool { return a.Less(b) })
+func newRowTree() *btree.Tree[types.Key, packedRow] {
+	return btree.New[types.Key, packedRow](func(a, b types.Key) bool { return a.Less(b) })
+}
+
+// rowCursorPool recycles scan cursors across shards: a range scan borrows
+// one, walks it, and returns it, so the readdir path performs no
+// per-scan allocation (the closure adapter the previous Scan allocated).
+var rowCursorPool = sync.Pool{
+	New: func() any { return new(btree.Cursor[types.Key, packedRow]) },
 }
 
 // NewShard creates an empty shard with the given identifier.
@@ -170,11 +181,11 @@ func (s *Shard) Len() int {
 func (s *Shard) Get(k types.Key) (Row, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	r, ok := s.rows.Get(k)
+	p, ok := s.rows.Get(k)
 	if !ok {
 		return Row{}, false
 	}
-	return *r, true
+	return p.row(k), true
 }
 
 // Scan calls fn for every row with lo <= key < hi in key order until fn
@@ -183,9 +194,18 @@ func (s *Shard) Get(k types.Key) (Row, bool) {
 func (s *Shard) Scan(lo, hi types.Key, fn func(Row) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	s.rows.AscendRange(lo, hi, func(k types.Key, r *Row) bool {
-		return fn(*r)
-	})
+	c := rowCursorPool.Get().(*btree.Cursor[types.Key, packedRow])
+	for c.Seek(s.rows, lo); c.Valid(); c.Next() {
+		k := c.Key()
+		if !k.Less(hi) {
+			break
+		}
+		if !fn(c.ValueRef().row(k)) {
+			break
+		}
+	}
+	c.Reset()
+	rowCursorPool.Put(c)
 }
 
 // ScanChildren visits every row under parent pid in name order.
@@ -247,15 +267,15 @@ func (s *Shard) checkGuard(g Guard) error {
 			return fmt.Errorf("shard %s: guard on %v: %w", s.id, g.Key, types.ErrExists)
 		}
 	case GuardVersion:
-		if !ok || r.Version != g.Version {
+		if !ok || r.version != g.Version {
 			return fmt.Errorf("shard %s: version guard on %v: %w", s.id, g.Key, types.ErrConflict)
 		}
 	case GuardRangeEmpty:
-		empty := true
-		s.rows.AscendRange(g.Key, g.KeyHi, func(types.Key, *Row) bool {
-			empty = false
-			return false
-		})
+		c := rowCursorPool.Get().(*btree.Cursor[types.Key, packedRow])
+		c.Seek(s.rows, g.Key)
+		empty := !c.Valid() || !c.Key().Less(g.KeyHi)
+		c.Reset()
+		rowCursorPool.Put(c)
 		if !empty {
 			return fmt.Errorf("shard %s: range [%v,%v) not empty: %w", s.id, g.Key, g.KeyHi, types.ErrNotEmpty)
 		}
@@ -275,8 +295,8 @@ func (s *Shard) checkMutation(m Mutation) error {
 			return fmt.Errorf("shard %s: %v: %w", s.id, m.Key, types.ErrNotFound)
 		}
 	}
-	if m.WantKind != 0 && ok && row.Entry.Kind != m.WantKind {
-		if row.Entry.Kind == types.KindDir {
+	if m.WantKind != 0 && ok && types.EntryKind(row.kind) != m.WantKind {
+		if types.EntryKind(row.kind) == types.KindDir {
 			return fmt.Errorf("shard %s: %v: %w", s.id, m.Key, types.ErrIsDir)
 		}
 		return fmt.Errorf("shard %s: %v: %w", s.id, m.Key, types.ErrNotDir)
@@ -376,19 +396,18 @@ func (s *Shard) Abort(txnID string) {
 func (s *Shard) applyLocked(m Mutation) {
 	switch m.Kind {
 	case MutPut:
-		if r, ok := s.rows.Get(m.Key); ok {
-			r.Entry = m.Entry
-			r.Version++
+		if p := s.rows.Ref(m.Key); p != nil {
+			*p = pack(m.Entry, p.version+1)
 		} else {
-			s.rows.Put(m.Key, &Row{Entry: m.Entry, Version: 1})
+			s.rows.Put(m.Key, pack(m.Entry, 1))
 		}
 	case MutDelete:
 		s.rows.Delete(m.Key)
 	case MutDeltaAttr:
-		if r, ok := s.rows.Get(m.Key); ok {
-			r.Entry.Attr.LinkCount += m.Delta.LinkCount
-			r.Entry.Attr.Size += m.Delta.Size
-			r.Version++
+		if p := s.rows.Ref(m.Key); p != nil {
+			p.link += m.Delta.LinkCount
+			p.size += m.Delta.Size
+			p.version++
 		}
 	}
 }
@@ -421,6 +440,57 @@ func (s *Shard) Apply(muts []Mutation) error {
 	return nil
 }
 
+// BulkLoad rebuilds the shard's row tree from n entries delivered in
+// strictly ascending key order by next — the namespace-population fast
+// path: bottom-up construction packs B-tree nodes to ~97% occupancy
+// (sequential Apply leaves them half full) and skips per-row locking and
+// precondition checks. Rows already present (bootstrap rows such as the
+// root's primary attribute record) are merged in; on a key collision the
+// streamed row wins. All loaded rows get version 1.
+//
+// It returns false without loading anything when a WAL is attached (the
+// log would not cover the loaded rows, so a crash would silently lose
+// them) — the caller falls back to the logged Apply path.
+func (s *Shard) BulkLoad(n int, next func(i int) (types.Key, types.Entry)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return false
+	}
+	type oldRow struct {
+		k types.Key
+		p packedRow
+	}
+	var old []oldRow
+	if s.rows.Len() > 0 {
+		old = make([]oldRow, 0, s.rows.Len())
+		c := rowCursorPool.Get().(*btree.Cursor[types.Key, packedRow])
+		for c.SeekFirst(s.rows); c.Valid(); c.Next() {
+			old = append(old, oldRow{c.Key(), c.Value()})
+		}
+		c.Reset()
+		rowCursorPool.Put(c)
+	}
+	ld := s.rows.NewLoader()
+	oi := 0
+	for i := 0; i < n; i++ {
+		k, e := next(i)
+		for oi < len(old) && old[oi].k.Less(k) {
+			ld.Add(old[oi].k, old[oi].p)
+			oi++
+		}
+		if oi < len(old) && !k.Less(old[oi].k) {
+			oi++ // collision: the streamed row replaces the old one
+		}
+		ld.Add(k, pack(e, 1))
+	}
+	for ; oi < len(old); oi++ {
+		ld.Add(old[oi].k, old[oi].p)
+	}
+	ld.Done()
+	return true
+}
+
 // CompactRange atomically folds every committed row in [lo, hi) into the
 // primary row at anchor and deletes the folded rows. fold is called once
 // per folded row to merge it into the primary entry. The compaction is
@@ -436,29 +506,40 @@ func (s *Shard) Apply(muts []Mutation) error {
 func (s *Shard) CompactRange(anchor types.Key, lo, hi types.Key, fold func(primary *types.Entry, delta types.Entry)) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	primary, ok := s.rows.Get(anchor)
+	p, ok := s.rows.Get(anchor)
 	if !ok {
 		return 0
 	}
 	if l, locked := s.locks[anchor]; locked && l.mode == lockExclusive {
 		return 0
 	}
+	primary := p.entry(anchor)
 	var victims []types.Key
 	var folded []types.Entry
-	s.rows.AscendRange(lo, hi, func(k types.Key, r *Row) bool {
+	c := rowCursorPool.Get().(*btree.Cursor[types.Key, packedRow])
+	for c.Seek(s.rows, lo); c.Valid(); c.Next() {
+		k := c.Key()
+		if !k.Less(hi) {
+			break
+		}
 		if _, locked := s.locks[k]; locked {
-			return true
+			continue
 		}
 		victims = append(victims, k)
-		folded = append(folded, r.Entry)
-		return true
-	})
+		folded = append(folded, c.ValueRef().entry(k))
+	}
+	c.Reset()
+	rowCursorPool.Put(c)
 	for i, k := range victims {
-		fold(&primary.Entry, folded[i])
+		fold(&primary, folded[i])
 		s.rows.Delete(k)
 	}
 	if len(victims) > 0 {
-		primary.Version++
+		// Deletes rebalance the tree, so re-resolve the anchor's value
+		// slot before writing the folded entry back.
+		if ref := s.rows.Ref(anchor); ref != nil {
+			*ref = pack(primary, ref.version+1)
+		}
 	}
 	return len(victims)
 }

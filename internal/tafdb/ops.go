@@ -2,8 +2,10 @@ package tafdb
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"mantle/internal/intern"
 	"mantle/internal/rpc"
 	"mantle/internal/storage"
 	"mantle/internal/txn"
@@ -328,25 +330,83 @@ func (db *DB) SetDirAttr(op *rpc.Op, dir types.InodeID, attr types.Attr) (int, e
 // BulkInsert loads entries directly into the shards without transactions
 // or RPC charging — the mdtest-style population step used to build
 // billion-scale (scaled-down) namespaces before experiments.
+//
+// Rows are grouped per shard, sorted, and handed to Shard.BulkLoad,
+// which rebuilds each shard's B-tree bottom-up at ~97% node occupancy
+// (sequential Apply leaves nodes half full). Component names are
+// interned first: population is where nearly every name string enters
+// the process, so deduplicating here collapses the popular components
+// ("logs", "part-00042", ...) to one allocation namespace-wide.
+// Shards with a WAL attached refuse the unlogged fast path (a crash
+// would silently lose the rows) and fall back to logged Apply.
 func (db *DB) BulkInsert(entries []types.Entry) error {
+	type rowKV struct {
+		k types.Key
+		e types.Entry
+	}
+	rows := make([][]rowKV, len(db.parts))
+	add := func(k types.Key, e types.Entry) {
+		si := db.shardIdx(k.Pid)
+		rows[si] = append(rows[si], rowKV{k, e})
+	}
+	// Child counts per directory, so primary attribute rows carry the
+	// link count the mutation path would have accumulated (fsck checks
+	// link count == children; the logged path bumps it per insert).
+	children := make(map[types.InodeID]int64, len(entries)/8+1)
 	for _, e := range entries {
-		p := db.shardFor(e.Pid)
-		muts := []storage.Mutation{{
-			Kind: storage.MutPut, Key: types.Key{Pid: e.Pid, Name: e.Name}, Entry: e,
-		}}
-		if err := p.Shard.Apply(muts); err != nil {
-			return err
-		}
+		children[e.Pid]++
+	}
+	for _, e := range entries {
+		e.Name = intern.Intern(e.Name)
+		add(types.Key{Pid: e.Pid, Name: e.Name}, e)
 		if e.IsDir() {
 			primary := e
 			primary.Pid = e.ID
 			primary.Name = attrName
-			pd := db.shardFor(e.ID)
-			if err := pd.Shard.Apply([]storage.Mutation{{
-				Kind: storage.MutPut, Key: attrKey(e.ID), Entry: primary,
+			primary.Attr.LinkCount = children[e.ID]
+			add(attrKey(e.ID), primary)
+		}
+	}
+	for si, rs := range rows {
+		if len(rs) == 0 {
+			continue
+		}
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].k.Less(rs[j].k) })
+		// Drop duplicate keys keeping the last occurrence (Apply
+		// semantics); BulkLoad requires strictly ascending keys.
+		w := 0
+		for r := 0; r < len(rs); r++ {
+			if r+1 < len(rs) && !rs[r].k.Less(rs[r+1].k) {
+				continue
+			}
+			rs[w] = rs[r]
+			w++
+		}
+		rs = rs[:w]
+		s := db.parts[si].Shard
+		if s.BulkLoad(len(rs), func(i int) (types.Key, types.Entry) { return rs[i].k, rs[i].e }) {
+			continue
+		}
+		for _, r := range rs {
+			if err := s.Apply([]storage.Mutation{{
+				Kind: storage.MutPut, Key: r.k, Entry: r.e,
 			}}); err != nil {
 				return err
 			}
+		}
+	}
+	// Parents outside this batch — the bootstrap root, or pre-existing
+	// directories gaining bulk-loaded children — get their link counts
+	// bumped through the delta path instead.
+	inBatch := make(map[types.InodeID]bool, len(children))
+	for _, e := range entries {
+		if e.IsDir() {
+			inBatch[e.ID] = true
+		}
+	}
+	for pid, n := range children {
+		if !inBatch[pid] {
+			db.BumpLink(pid, n)
 		}
 	}
 	return nil

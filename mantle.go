@@ -55,6 +55,12 @@ type Config struct {
 	// RTT injects a per-RPC network round-trip latency (0 = in-process
 	// speed; benchmarks use 200µs to model the paper's testbed).
 	RTT time.Duration
+	// PreciseRTT waits out each RTT charge's final stretch on a
+	// yield-spin loop instead of trusting time.Sleep, whose granularity
+	// on virtualised hosts is often coarser than the RTT itself. Costs
+	// CPU per in-flight RPC; meant for low-concurrency latency
+	// measurements like the namespace-scale sweep, not throughput runs.
+	PreciseRTT bool
 	// DeltaRecords selects the directory-attribute update strategy:
 	// "auto" (default; activate under contention), "always", or "off".
 	DeltaRecords string
@@ -119,7 +125,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("mantle: unknown DeltaRecords mode %q", cfg.DeltaRecords)
 	}
 	m, err := core.New(core.Config{
-		Fabric:     netsim.NewFabric(netsim.Config{RTT: cfg.RTT}),
+		Fabric:     netsim.NewFabric(netsim.Config{RTT: cfg.RTT, Precise: cfg.PreciseRTT}),
 		ProxyCache: cfg.ProxyCache,
 		TafDB: tafdb.Config{
 			Shards:           cfg.Shards,
