@@ -44,6 +44,16 @@ import (
 
 type server struct {
 	cl *mantle.Cluster
+	dr *mantle.DR
+}
+
+// active returns the cluster currently serving traffic: in DR mode the
+// primary before failover and the promoted secondary after.
+func (s *server) active() *mantle.Cluster {
+	if s.dr != nil {
+		return s.dr.Active()
+	}
+	return s.cl
 }
 
 func main() {
@@ -58,19 +68,35 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 		hotspot   = flag.Bool("hotspot", false, "elastic hotspot management: promote hot directories to bounded-stale replica reads, load-aware routing, shedding")
 		hotThresh = flag.Int64("hot-threshold", 0, "decayed read count that promotes a directory (0 = production default; lower it for small deployments)")
+		drOn      = flag.Bool("dr", false, "host a second, asynchronously replicated site for disaster recovery (see /admin/failover)")
+		wanRTT    = flag.Duration("wan-rtt", 0, "inter-site round trip for the -dr replication link")
+		walSync   = flag.Duration("wal-sync", 0, "attach a write-ahead log to every TafDB shard with this per-sync latency")
 	)
 	flag.Parse()
 
-	cl, err := mantle.New(mantle.Config{
+	cfg := mantle.Config{
 		Shards: *shards, Replicas: *replicas, Learners: *learners,
 		FollowerRead: *follower, RTT: *rtt, Hotspot: *hotspot,
-		HotThreshold: *hotThresh,
-	})
-	if err != nil {
-		log.Fatal(err)
+		HotThreshold: *hotThresh, WALSyncCost: *walSync,
 	}
-	defer cl.Stop()
-	s := &server{cl: cl}
+	s := &server{}
+	if *drOn {
+		dr, err := mantle.NewDR(cfg, mantle.DRConfig{WANRTT: *wanRTT})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dr.Stop()
+		s.dr = dr
+		s.cl = dr.Primary()
+	} else {
+		cl, err := mantle.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Stop()
+		s.cl = cl
+	}
+	cl := s.cl
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ns/", s.handle)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -78,7 +104,7 @@ func main() {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
-		core := cl.Core()
+		core := s.active().Core()
 		if r.URL.Query().Get("format") == "prometheus" {
 			// Prometheus text exposition: counters/gauges as untyped
 			// samples, latency histograms as cumulative histogram series.
@@ -91,9 +117,14 @@ func main() {
 		for _, n := range core.Index().Nodes() {
 			_ = n.WriteMetrics(w)
 		}
+		if s.dr != nil {
+			// The standby's registry (repl_applied, repl_conflicts, …)
+			// is not reachable through the active gateway otherwise.
+			_ = s.dr.Secondary().Core().Metrics().Write(w)
+		}
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		core := cl.Core()
+		core := s.active().Core()
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain")
 			core.WriteStatus(w)
@@ -102,6 +133,13 @@ func main() {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		if s.dr != nil {
+			_ = enc.Encode(map[string]any{
+				"site": core.Status(),
+				"repl": s.dr.ReplStatus(),
+			})
+			return
+		}
 		_ = enc.Encode(core.Status())
 	})
 	mux.HandleFunc("/trace", s.traceOp)
@@ -148,13 +186,25 @@ func main() {
 		_ = json.NewEncoder(w).Encode(map[string]any{"path": path, "shard": shard, "rows": moved})
 	})
 	mux.HandleFunc("/fsck", func(w http.ResponseWriter, r *http.Request) {
-		rep := fsck.Check(cl.Core())
+		rep := fsck.Check(s.active().Core())
 		w.Header().Set("Content-Type", "application/json")
 		if !rep.OK() {
 			w.WriteHeader(http.StatusConflict)
 		}
 		_ = json.NewEncoder(w).Encode(rep)
 	})
+	// Disaster-recovery ops suite:
+	//
+	//	POST /admin/scrub?rounds=N     online consistency scrub (default 2
+	//	                               rounds; transient in-flight states
+	//	                               are intersected away)
+	//	POST /admin/rebuild-index      rebuild the IndexNode table from
+	//	                               TafDB rows on the active site
+	//	POST /admin/oplog/gc           trim replication oplogs past the
+	//	                               acknowledged watermark (-dr only)
+	//	POST /admin/failover           promote the secondary (-dr only);
+	//	                               the gateway reroutes to it
+	s.registerAdmin(mux)
 	if *rpcAddr != "" {
 		l, err := net.Listen("tcp", *rpcAddr)
 		if err != nil {
@@ -163,8 +213,12 @@ func main() {
 		log.Printf("mantled: binary protocol on %s", *rpcAddr)
 		go func() { log.Println("rpc server:", mantle.Serve(l, cl)) }()
 	}
-	log.Printf("mantled: %d shards, %d replicas (+%d learners), listening on %s",
-		*shards, *replicas, *learners, *addr)
+	mode := "single-site"
+	if *drOn {
+		mode = "dr (async secondary attached)"
+	}
+	log.Printf("mantled: %d shards, %d replicas (+%d learners), %s, listening on %s",
+		*shards, *replicas, *learners, mode, *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -176,7 +230,7 @@ func (s *server) traceOp(w http.ResponseWriter, r *http.Request) {
 	if path == "" {
 		path = "/"
 	}
-	core := s.cl.Core()
+	core := s.active().Core()
 	tr, ctx := trace.New("lookup " + path)
 	_, opErr := core.Lookup(core.Caller().BeginTraced(ctx), path)
 	tr.Finish()
@@ -200,7 +254,7 @@ func (s *server) traceOp(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handle(w http.ResponseWriter, r *http.Request) {
 	path := "/" + strings.TrimPrefix(r.URL.Path, "/ns/")
-	c := s.cl.Client()
+	c := s.active().Client()
 	start := time.Now()
 	var err error
 	var payload any
@@ -280,4 +334,60 @@ func statusOf(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// registerAdmin installs the disaster-recovery ops suite (scrub,
+// rebuild-index, oplog gc, failover) on mux.
+func (s *server) registerAdmin(mux *http.ServeMux) {
+	mux.HandleFunc("/admin/scrub", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		rounds, _ := strconv.Atoi(r.URL.Query().Get("rounds"))
+		rep := fsck.Scrub(s.active().Core(), rounds)
+		w.Header().Set("Content-Type", "application/json")
+		if !rep.OK() {
+			w.WriteHeader(http.StatusConflict)
+		}
+		_ = json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("/admin/rebuild-index", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		n := s.active().Core().RebuildIndex()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"entries": n})
+	})
+	mux.HandleFunc("/admin/oplog/gc", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if s.dr == nil {
+			http.Error(w, "oplog gc requires -dr", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"trimmed": s.dr.GCOplog()})
+	})
+	mux.HandleFunc("/admin/failover", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if s.dr == nil {
+			http.Error(w, "failover requires -dr", http.StatusBadRequest)
+			return
+		}
+		rep := s.dr.Failover()
+		log.Printf("mantled: secondary promoted (discarded %d records, %d index entries)",
+			rep.Discarded, rep.IndexEntries)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
 }

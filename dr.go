@@ -1,0 +1,100 @@
+package mantle
+
+import (
+	"time"
+
+	"mantle/internal/core"
+	"mantle/internal/repl"
+)
+
+// DRConfig parameterises the replication plane of a two-site
+// deployment.
+type DRConfig struct {
+	// WANRTT is the inter-site round trip charged per shipped oplog
+	// batch (0 = in-process speed).
+	WANRTT time.Duration
+	// LinkInterval is the replication pump period (default 500µs).
+	LinkInterval time.Duration
+	// LinkBatchMax bounds oplog records per shipped batch (default 256).
+	LinkBatchMax int
+}
+
+// DR is a two-site disaster-recovery deployment: a primary cluster
+// serving all traffic and a passive secondary receiving the primary's
+// HLC-stamped oplog over an asynchronous WAN link. See DESIGN.md §11.
+type DR struct {
+	sites     *core.Sites
+	primary   *Cluster
+	secondary *Cluster
+}
+
+// NewDR starts both sites and the replication link.
+func NewDR(cfg Config, dr DRConfig) (*DR, error) {
+	cc, err := coreConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewSites(core.SitesConfig{
+		Site:         cc,
+		WANRTT:       dr.WANRTT,
+		LinkInterval: dr.LinkInterval,
+		LinkBatchMax: dr.LinkBatchMax,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.StartReplication()
+	return &DR{
+		sites:     s,
+		primary:   &Cluster{m: s.Primary},
+		secondary: &Cluster{m: s.Secondary},
+	}, nil
+}
+
+// Primary is the site serving client traffic.
+func (d *DR) Primary() *Cluster { return d.primary }
+
+// Secondary is the passive replica site.
+func (d *DR) Secondary() *Cluster { return d.secondary }
+
+// Active returns the site that should serve traffic: the secondary
+// after Failover, the primary before.
+func (d *DR) Active() *Cluster {
+	if d.sites.Promoted() {
+		return d.secondary
+	}
+	return d.primary
+}
+
+// Sites exposes the underlying two-site bundle (chaos tests, fsck).
+func (d *DR) Sites() *core.Sites { return d.sites }
+
+// Failover promotes the secondary: replication stops, buffered records
+// that never became applicable are discarded and counted, and the
+// secondary's index and ID allocator are rebuilt from the replicated
+// rows so it serves reads and writes immediately. Idempotent.
+func (d *DR) Failover() core.FailoverReport { return d.sites.Failover() }
+
+// GCOplog trims the primary's replication oplogs up to the link's
+// acknowledged watermark, returning records dropped.
+func (d *DR) GCOplog() int { return d.sites.GCOplog() }
+
+// ReplStatus reports link lag, oplog retention, and the secondary's
+// applied watermarks.
+func (d *DR) ReplStatus() map[string]core.ReplStatus {
+	return map[string]core.ReplStatus{
+		"primary":   d.sites.ReplStatus("primary"),
+		"secondary": d.sites.ReplStatus("secondary"),
+	}
+}
+
+// LinkStats returns the shipping-side link statistics.
+func (d *DR) LinkStats() repl.LinkStats {
+	if l := d.sites.Link(); l != nil {
+		return l.Stats()
+	}
+	return repl.LinkStats{}
+}
+
+// Stop tears down the link and both sites.
+func (d *DR) Stop() { d.sites.Stop() }

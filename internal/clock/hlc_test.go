@@ -1,0 +1,154 @@
+package clock
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// skewedWall builds a wall-clock source for one simulated node: a base
+// offset (the node's skew, possibly far behind or ahead), advanced by a
+// random non-negative step per reading, occasionally stalling and
+// occasionally jumping backwards (NTP corrections).
+func skewedWall(rng *rand.Rand, skew int64) func() int64 {
+	now := skew
+	return func() int64 {
+		switch rng.Intn(10) {
+		case 0: // stall
+		case 1: // backwards jump
+			now -= int64(rng.Intn(1000))
+		default:
+			now += int64(rng.Intn(100))
+		}
+		return now
+	}
+}
+
+// TestNowMonotonic is the quick-check monotonicity property: for any
+// sequence of wall readings — stalls and backwards jumps included —
+// timestamps issued by one clock are strictly increasing.
+func TestNowMonotonic(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		c := NewWithWall(1, skewedWall(rng, rng.Int63n(1e9)))
+		prev := c.Now()
+		for i := 0; i < 1000; i++ {
+			cur := c.Now()
+			if !prev.Less(cur) {
+				t.Fatalf("trial %d step %d: %v !< %v", trial, i, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestCausality is the quick-check causality property: across a mesh of
+// nodes with wildly skewed physical clocks exchanging random messages,
+// every receive timestamp strictly exceeds the matching send timestamp,
+// and every node's own sequence stays strictly increasing.
+func TestCausality(t *testing.T) {
+	const nodes = 6
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		clocks := make([]*Clock, nodes)
+		last := make([]Timestamp, nodes)
+		for i := range clocks {
+			// Skews span three orders of magnitude, so some nodes are
+			// "in the past" relative to every message they receive.
+			clocks[i] = NewWithWall(uint16(i+1), skewedWall(rng, rng.Int63n(1e6)*int64(i)))
+			last[i] = clocks[i].Now()
+		}
+		for step := 0; step < 5000; step++ {
+			src := rng.Intn(nodes)
+			if rng.Intn(3) == 0 { // local event
+				ts := clocks[src].Now()
+				if !last[src].Less(ts) {
+					t.Fatalf("trial %d: node %d regressed: %v !< %v", trial, src, last[src], ts)
+				}
+				last[src] = ts
+				continue
+			}
+			dst := rng.Intn(nodes)
+			for dst == src {
+				dst = rng.Intn(nodes)
+			}
+			sent := clocks[src].Now()
+			if !last[src].Less(sent) {
+				t.Fatalf("trial %d: sender %d regressed: %v !< %v", trial, src, last[src], sent)
+			}
+			last[src] = sent
+			recv := clocks[dst].Observe(sent)
+			if !sent.Less(recv) {
+				t.Fatalf("trial %d: receive %v !> send %v", trial, recv, sent)
+			}
+			if !last[dst].Less(recv) {
+				t.Fatalf("trial %d: receiver %d regressed: %v !< %v", trial, dst, last[dst], recv)
+			}
+			last[dst] = recv
+		}
+	}
+}
+
+// TestSiteTieBreak verifies the deterministic tie-break: identical
+// (Wall, Logical) from different sites order by site id, and Compare is
+// a total order (antisymmetric, transitive on sampled triples).
+func TestSiteTieBreak(t *testing.T) {
+	a := Timestamp{Wall: 7, Logical: 3, Site: 1}
+	b := Timestamp{Wall: 7, Logical: 3, Site: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("site tie-break broken: %v vs %v", a, b)
+	}
+	if a.Compare(a) != 0 {
+		t.Fatalf("Compare not reflexive")
+	}
+	rng := rand.New(rand.NewSource(42))
+	sample := func() Timestamp {
+		return Timestamp{
+			Wall:    int64(rng.Intn(3)),
+			Logical: int32(rng.Intn(3)),
+			Site:    uint16(rng.Intn(3)),
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		x, y, z := sample(), sample(), sample()
+		if x.Compare(y) != -y.Compare(x) {
+			t.Fatalf("not antisymmetric: %v %v", x, y)
+		}
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 && x.Compare(z) > 0 {
+			t.Fatalf("not transitive: %v %v %v", x, y, z)
+		}
+		if x.Compare(y) == 0 && x != y {
+			t.Fatalf("distinct timestamps compare equal: %v %v", x, y)
+		}
+	}
+}
+
+// TestObserveConcurrent exercises the clock under concurrent Now and
+// Observe callers; the race detector guards the locking and each
+// goroutine's local sequence must stay strictly increasing.
+func TestObserveConcurrent(t *testing.T) {
+	c := New(3)
+	remote := New(9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var prev Timestamp
+			for i := 0; i < 2000; i++ {
+				var ts Timestamp
+				if g%2 == 0 {
+					ts = c.Now()
+				} else {
+					ts = c.Observe(remote.Now())
+				}
+				if !prev.Less(ts) {
+					t.Errorf("goroutine %d regressed: %v !< %v", g, prev, ts)
+					return
+				}
+				prev = ts
+			}
+		}(g)
+	}
+	wg.Wait()
+}

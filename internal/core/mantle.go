@@ -657,7 +657,7 @@ func (m *Mantle) SetPerm(op *rpc.Op, dirPath string, perm types.Perm) (res types
 	if err != nil {
 		return t.Done(op, 0, types.Entry{}), err
 	}
-	retries, err := m.db.SetDirAttr(op, lres.ID, types.Attr{MTime: time.Now()})
+	retries, err := m.db.SetDirPerm(op, lres.ParentID, pathutil.Base(dirPath), lres.ID, perm)
 	if err != nil {
 		t.Phase(types.PhaseExecute)
 		return t.Done(op, retries, types.Entry{}), err

@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig4a", "fig4b", "tab1", "tab2",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19a", "fig19b", "fig20", "tab3",
-		"heat", "scale",
+		"heat", "scale", "dr",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -96,6 +96,11 @@ func TestFig20Quick(t *testing.T) {
 }
 func TestTable3Quick(t *testing.T) {
 	runQuick(t, "tab3", "Table 3", "C1", "peak lookup")
+}
+
+func TestDRQuick(t *testing.T) {
+	runQuick(t, "dr", "time-to-converge", "loss window: 0 records discarded",
+		"0 row divergences")
 }
 
 func TestHeatQuick(t *testing.T) {

@@ -32,6 +32,7 @@ var Registry = map[string]Func{
 	"tab3":   Table3,
 	"heat":   Heat,
 	"scale":  Scale,
+	"dr":     DR,
 }
 
 // All returns the experiment ids in a stable order.

@@ -206,8 +206,14 @@ func Check(m *core.Mantle) *Report {
 		}
 	}
 
-	sort.Slice(rep.Issues, func(i, j int) bool {
-		a, b := rep.Issues[i], rep.Issues[j]
+	sortIssues(rep.Issues)
+	return rep
+}
+
+// sortIssues orders issues by (check, pid, name) for stable reports.
+func sortIssues(issues []Issue) {
+	sort.Slice(issues, func(i, j int) bool {
+		a, b := issues[i], issues[j]
 		if a.Check != b.Check {
 			return a.Check < b.Check
 		}
@@ -216,7 +222,6 @@ func Check(m *core.Mantle) *Report {
 		}
 		return a.Name < b.Name
 	})
-	return rep
 }
 
 // isAttrPrimary distinguishes "\x00attr" from "\x00attr\x00TS" deltas.

@@ -1,0 +1,47 @@
+package fsck
+
+import "mantle/internal/core"
+
+// Scrub is the online consistency check: Check assumes a quiesced
+// namespace, so a scan racing live traffic reports transient issues
+// (a mkdir's TafDB rows landing an instant before its IndexNode entry).
+// Scrub runs Check rounds times and keeps only issues present in every
+// round — in-flight operations drift between scans while genuine damage
+// is stable, so the intersection converges on real inconsistencies.
+// Two rounds suffice in practice; more rounds trade scan cost for fewer
+// false positives under very heavy write load.
+func Scrub(m *core.Mantle, rounds int) *Report {
+	if rounds < 1 {
+		rounds = 2
+	}
+	type key struct {
+		check string
+		pid   uint64
+		name  string
+	}
+	var rep *Report
+	var persistent map[key]Issue
+	for i := 0; i < rounds; i++ {
+		r := Check(m)
+		seen := make(map[key]Issue, len(r.Issues))
+		for _, is := range r.Issues {
+			k := key{is.Check, uint64(is.Pid), is.Name}
+			if i == 0 {
+				seen[k] = is
+			} else if prev, ok := persistent[k]; ok {
+				seen[k] = prev
+			}
+		}
+		persistent = seen
+		rep = r
+		if len(persistent) == 0 && i > 0 {
+			break // nothing stable across rounds; no need to keep scanning
+		}
+	}
+	rep.Issues = rep.Issues[:0]
+	for _, is := range persistent {
+		rep.Issues = append(rep.Issues, is)
+	}
+	sortIssues(rep.Issues)
+	return rep
+}

@@ -1,0 +1,146 @@
+// Package repl is Mantle's asynchronous site-to-site replication plane.
+// Every committed mutation batch on the primary site — transactional
+// commits and relaxed applies alike — enters a per-shard oplog, stamped
+// with a Hybrid Logical Clock timestamp (internal/clock) at the point
+// the shard assigns its commit sequence, so oplog order is WAL order by
+// construction. A Link streams records over the rpc/netsim fabric to a
+// secondary site's Applier, which applies them in per-shard sequence
+// order with cross-shard transactions grouped atomically and conflicts
+// resolved last-writer-wins on the HLC.
+//
+// The plane is deliberately asynchronous: the primary never waits for
+// the secondary, so a site failure loses at most the un-shipped oplog
+// suffix (the loss window the dr experiment measures). Watermarks —
+// applied sequence and HLC per shard, lag in entries and bytes,
+// conflict counts — are exported through core's metrics registry onto
+// /metrics and /status.
+package repl
+
+import (
+	"sync"
+
+	"mantle/internal/clock"
+	"mantle/internal/storage"
+)
+
+// Record is one replicated mutation batch: a shard's commit at a
+// specific sequence number, stamped with the primary's HLC. All pieces
+// of one cross-shard transaction carry the same TxnID, HLC, and Pieces
+// count, so the Applier can reassemble and apply them atomically.
+type Record struct {
+	Shard int
+	// Seq is the shard-local commit sequence (gap-free from 1).
+	Seq uint64
+	// HLC is the commit timestamp; LWW conflict resolution compares it.
+	HLC clock.Timestamp
+	// TxnID identifies the committing transaction ("" for relaxed
+	// applies); Pieces is how many shards the transaction spans.
+	TxnID  string
+	Pieces int
+	Muts   []storage.Mutation
+	// Bytes is the approximate wire size (storage.BatchBytes).
+	Bytes int
+}
+
+// Oplog is one shard's replication log: records in sequence order,
+// trimmable from the front once every subscriber has acknowledged past
+// them (the GC low watermark).
+type Oplog struct {
+	mu sync.Mutex
+	// base is the sequence number of the last trimmed record; recs[0]
+	// (when present) has Seq == base+1.
+	base    uint64
+	recs    []Record
+	bytes   int64
+	trimmed int64
+}
+
+// Append adds a record. Records must arrive in sequence order with no
+// gaps — the shard hook runs under the shard mutex, which guarantees it.
+func (l *Oplog) Append(r Record) {
+	l.mu.Lock()
+	l.recs = append(l.recs, r)
+	l.bytes += int64(r.Bytes)
+	l.mu.Unlock()
+}
+
+// ReadFrom returns up to max records starting at sequence from. The
+// second result is false when from has already been trimmed away — the
+// subscriber cannot catch up from the log and needs a snapshot
+// bootstrap.
+func (l *Oplog) ReadFrom(from uint64, max int) ([]Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from <= l.base {
+		return nil, false
+	}
+	idx := int(from - l.base - 1)
+	if idx >= len(l.recs) {
+		return nil, true
+	}
+	end := idx + max
+	if max <= 0 || end > len(l.recs) {
+		end = len(l.recs)
+	}
+	out := make([]Record, end-idx)
+	copy(out, l.recs[idx:end])
+	return out, true
+}
+
+// Trim discards records with Seq <= upto, returning how many were
+// dropped. Callers must not trim past the minimum acknowledged sequence
+// across subscribers (Source.GC enforces it).
+func (l *Oplog) Trim(upto uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if upto <= l.base {
+		return 0
+	}
+	n := int(upto - l.base)
+	if n > len(l.recs) {
+		n = len(l.recs)
+	}
+	for _, r := range l.recs[:n] {
+		l.bytes -= int64(r.Bytes)
+	}
+	l.recs = append([]Record(nil), l.recs[n:]...)
+	l.base += uint64(n)
+	l.trimmed += int64(n)
+	return n
+}
+
+// Tip returns the highest appended sequence (0 when empty and untrimmed).
+func (l *Oplog) Tip() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + uint64(len(l.recs))
+}
+
+// Base returns the trimmed-away prefix boundary: the lowest readable
+// sequence is Base()+1.
+func (l *Oplog) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Len returns the number of retained records.
+func (l *Oplog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Bytes returns the approximate retained wire bytes.
+func (l *Oplog) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Trimmed returns the cumulative count of GC'd records.
+func (l *Oplog) Trimmed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.trimmed
+}

@@ -20,6 +20,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mantle/internal/btree"
 	"mantle/internal/types"
@@ -144,6 +145,32 @@ type Shard struct {
 	txns    map[string]*txnState
 	wal     *WAL
 	crashed bool
+
+	// repl observes every committed mutation batch in commit order
+	// (SetReplHook). commitSeq numbers batches when no WAL is attached;
+	// with a WAL, the WAL's staged sequence is the batch number, so the
+	// oplog and the log agree by construction. pendingSync counts
+	// commits that have been assigned a sequence but not yet applied
+	// (parked on WAL durability); SnapshotRows drains it so a snapshot's
+	// sequence covers exactly the rows it contains.
+	repl        ReplHook
+	commitSeq   uint64
+	pendingSync int
+}
+
+// ReplHook observes committed mutation batches in commit order: seq is
+// the shard-local batch number (identical to the WAL batch sequence
+// when a WAL is attached) and txnID is the committing transaction's id,
+// or "" for relaxed applies. The hook runs under the shard mutex and
+// must not call back into the shard.
+type ReplHook func(seq uint64, txnID string, muts []Mutation)
+
+// SetReplHook installs the replication hook. Install before the shard
+// takes traffic.
+func (s *Shard) SetReplHook(h ReplHook) {
+	s.mu.Lock()
+	s.repl = h
+	s.mu.Unlock()
 }
 
 func newRowTree() *btree.Tree[types.Key, packedRow] {
@@ -366,11 +393,18 @@ func (s *Shard) Commit(txnID string) {
 		return
 	}
 	delete(s.txns, txnID) // claim the commit (idempotence under races)
+	// Assign the batch sequence and emit to the oplog under s.mu, so
+	// commit order, WAL order, and oplog order are one order: both the
+	// WAL staged position and the hook call happen inside the same
+	// critical section.
+	seq := s.noteCommitLocked(txnID, st.muts)
 	if s.wal != nil {
 		wal := s.wal
+		s.pendingSync++
 		s.mu.Unlock()
-		wal.Commit(st.muts)
+		wal.WaitDurable(seq)
 		s.mu.Lock()
+		s.pendingSync--
 	}
 	for _, m := range st.muts {
 		s.applyLocked(m)
@@ -378,6 +412,23 @@ func (s *Shard) Commit(txnID string) {
 	s.unlockAll(txnID, st.locked)
 	s.mu.Unlock()
 	st.release()
+}
+
+// noteCommitLocked assigns the next batch sequence (the WAL staged
+// sequence when a WAL is attached) and feeds the replication hook.
+// Called with s.mu held exclusively.
+func (s *Shard) noteCommitLocked(txnID string, muts []Mutation) uint64 {
+	var seq uint64
+	if s.wal != nil {
+		seq = s.wal.Stage(muts)
+	} else {
+		s.commitSeq++
+		seq = s.commitSeq
+	}
+	if s.repl != nil {
+		s.repl(seq, txnID, muts)
+	}
+	return seq
 }
 
 // Abort releases txnID's locks without applying anything.
@@ -426,16 +477,20 @@ func (s *Shard) Apply(muts []Mutation) error {
 			return err
 		}
 	}
+	// Stage into the WAL (and the oplog) before applying, all under the
+	// shard mutex: the log order of racing relaxed writers is their
+	// apply order, so replay reproduces the exact in-memory state and
+	// the oplog never diverges from the WAL. Relaxed applies become
+	// visible before the sync completes — the weakened durability the
+	// relaxed mode already accepts.
+	seq := s.noteCommitLocked("", muts)
 	for _, m := range muts {
 		s.applyLocked(m)
 	}
 	wal := s.wal
 	s.mu.Unlock()
 	if wal != nil {
-		// Relaxed applies log after the in-memory mutation; racing
-		// same-row relaxed writers may therefore reorder in the log —
-		// the weakened consistency the relaxed mode already accepts.
-		wal.Commit(muts)
+		wal.WaitDurable(seq)
 	}
 	return nil
 }
@@ -549,4 +604,51 @@ func (s *Shard) LockedKeys() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.locks)
+}
+
+// CurrentSeq returns the shard's latest assigned batch sequence: the
+// WAL staged sequence with a WAL attached, the relaxed commit counter
+// otherwise.
+func (s *Shard) CurrentSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.wal != nil {
+		return s.wal.StagedSeq()
+	}
+	return s.commitSeq
+}
+
+// SnapshotRows captures a consistent cut of the shard: every committed
+// row, plus the batch sequence number the cut covers — the snapshot-
+// bootstrap source for a new replication secondary (a secondary loaded
+// from the cut and fed the oplog from seq+1 converges exactly).
+//
+// Commits parked on WAL durability have a sequence assigned but no rows
+// applied yet; the cut spins until that window is empty, so it never
+// claims a sequence whose rows it is missing. Under a sustained commit
+// storm this can briefly retry — acceptable for an ops-path operation.
+func (s *Shard) SnapshotRows() ([]Row, uint64) {
+	for {
+		s.mu.Lock()
+		if s.pendingSync == 0 {
+			break
+		}
+		s.mu.Unlock()
+		time.Sleep(20 * time.Microsecond)
+	}
+	defer s.mu.Unlock()
+	var seq uint64
+	if s.wal != nil {
+		seq = s.wal.StagedSeq()
+	} else {
+		seq = s.commitSeq
+	}
+	rows := make([]Row, 0, s.rows.Len())
+	c := rowCursorPool.Get().(*btree.Cursor[types.Key, packedRow])
+	for c.SeekFirst(s.rows); c.Valid(); c.Next() {
+		rows = append(rows, c.ValueRef().row(c.Key()))
+	}
+	c.Reset()
+	rowCursorPool.Put(c)
+	return rows, seq
 }

@@ -68,11 +68,10 @@ func (w *WAL) SetGroupCommit(on bool) {
 }
 
 // Commit appends the batch, blocks until it is durable, and returns the
-// batch's sequence number (DurableSeq has reached it by then).
-// Concurrent callers group-commit: whichever caller performs the
-// physical sync covers every batch staged before the sync started, and
-// the others park on a waiter list that is notified per-batch as the
-// durable horizon passes their sequence number.
+// batch's sequence number (DurableSeq has reached it by then). It is
+// Stage followed by WaitDurable; callers that must fix the log position
+// under their own lock (Shard.Commit orders the log identically to the
+// oplog) use the two halves directly.
 //
 // The batch is encoded into one packed record before staging (fixed
 // header + varlen name per mutation, see walcodec.go): the log retains
@@ -81,6 +80,17 @@ func (w *WAL) SetGroupCommit(on bool) {
 // footprint at scale. The caller keeps ownership of muts; it is read
 // during this call only.
 func (w *WAL) Commit(muts []Mutation) uint64 {
+	seq := w.Stage(muts)
+	w.WaitDurable(seq)
+	return seq
+}
+
+// Stage appends the batch to the log and assigns its sequence number
+// without waiting for durability. Replay order is Stage order: the
+// caller serialises Stage with whatever lock defines its commit order
+// (the shard mutex), which is exactly what keeps WAL replay and oplog
+// emission in agreement.
+func (w *WAL) Stage(muts []Mutation) uint64 {
 	if len(muts) == 0 {
 		return 0
 	}
@@ -89,13 +99,28 @@ func (w *WAL) Commit(muts []Mutation) uint64 {
 	w.seq++
 	mySeq := w.seq
 	w.staged = append(w.staged, stagedBatch{seq: mySeq, rec: rec})
-	for w.durable < mySeq {
+	w.mu.Unlock()
+	return mySeq
+}
+
+// WaitDurable blocks until the batch with the given sequence number is
+// covered by a completed sync. Concurrent callers group-commit:
+// whichever caller performs the physical sync covers every batch staged
+// before the sync started, and the others park on a waiter list that is
+// notified per-batch as the durable horizon passes their sequence
+// number.
+func (w *WAL) WaitDurable(seq uint64) {
+	if seq == 0 {
+		return
+	}
+	w.mu.Lock()
+	for w.durable < seq {
 		if w.syncing {
 			// A sync that cannot cover us (it started before we staged)
 			// is in flight; park until our batch is durable or we are
 			// handed sync leadership, then re-check.
 			ch := make(chan struct{})
-			w.waiters = append(w.waiters, walWaiter{seq: mySeq, ch: ch})
+			w.waiters = append(w.waiters, walWaiter{seq: seq, ch: ch})
 			w.mu.Unlock()
 			<-ch
 			w.mu.Lock()
@@ -104,7 +129,6 @@ func (w *WAL) Commit(muts []Mutation) uint64 {
 		w.leadSyncLocked()
 	}
 	w.mu.Unlock()
-	return mySeq
 }
 
 // leadSyncLocked performs one physical sync as the sync leader. In
@@ -211,16 +235,39 @@ func (w *WAL) Batches() int {
 
 // Replay invokes apply for every durable mutation in commit order.
 func (w *WAL) Replay(apply func(Mutation)) {
+	w.ReplayBatches(func(_ uint64, muts []Mutation) {
+		for _, m := range muts {
+			apply(m)
+		}
+	})
+}
+
+// ReplayBatches invokes apply once per durable batch in commit order,
+// with the batch's sequence number. Durable records are stored in
+// sequence order with no gaps, so record i holds batch i+1 — the
+// property fsck.VerifyOplog cross-checks against the replication oplog.
+func (w *WAL) ReplayBatches(apply func(seq uint64, muts []Mutation)) {
 	w.mu.Lock()
 	records := w.records
 	w.mu.Unlock()
-	for _, rec := range records {
-		if err := decodeBatch(rec, apply); err != nil {
+	scratch := make([]Mutation, 0, 8)
+	for i, rec := range records {
+		scratch = scratch[:0]
+		if err := decodeBatch(rec, func(m Mutation) { scratch = append(scratch, m) }); err != nil {
 			// Records are produced by this process's encodeBatch; a decode
 			// failure is a codec bug, not a runtime condition.
 			panic(err)
 		}
+		apply(uint64(i)+1, scratch)
 	}
+}
+
+// StagedSeq returns the highest batch sequence number assigned so far
+// (staged, not necessarily durable).
+func (w *WAL) StagedSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
 }
 
 // AttachWAL enables write-ahead logging on the shard: every committed

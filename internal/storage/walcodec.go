@@ -81,6 +81,17 @@ func encodeBatch(muts []Mutation) []byte {
 	return buf
 }
 
+// BatchBytes estimates the wire size of a mutation batch using the WAL
+// record layout — the replication plane's lag-bytes accounting, without
+// paying for an actual encode.
+func BatchBytes(muts []Mutation) int {
+	size := binary.MaxVarintLen32
+	for i := range muts {
+		size += 24 + len(muts[i].Key.Name)
+	}
+	return size
+}
+
 // decodeBatch walks a packed record, invoking apply for each mutation in
 // order. Records are produced by encodeBatch within the same process, so
 // malformed input is a programming error, reported as one.

@@ -327,6 +327,63 @@ func (db *DB) SetDirAttr(op *rpc.Op, dir types.InodeID, attr types.Attr) (int, e
 	})
 }
 
+// SetDirPerm changes directory dir's permission transactionally in both
+// places TafDB records it: the access row under the parent (what
+// lookups and fsck read) and the primary attribute row (what a restored
+// or replicated site rebuilds its index from). The two rows may live on
+// different shards, so this is a 2PC when they do. The root directory
+// has no access row; its attribute row alone is updated.
+func (db *DB) SetDirPerm(op *rpc.Op, parent types.InodeID, name string, dir types.InodeID, perm types.Perm) (int, error) {
+	return db.runTxn(op, dir, func(int) ([]txn.Piece, error) {
+		pDir := db.shardFor(dir)
+		row, ok := pDir.Shard.Get(attrKey(dir))
+		if !ok {
+			return nil, fmt.Errorf("setperm %d: %w", dir, types.ErrNotFound)
+		}
+		attrEntry := row.Entry
+		attrEntry.Perm = perm
+		attrEntry.Attr.MTime = time.Now()
+		attrPiece := txn.Piece{
+			P: pDir,
+			Guards: []storage.Guard{{
+				Key: attrKey(dir), Kind: storage.GuardVersion, Version: row.Version,
+			}},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutPut, Key: attrKey(dir), Entry: attrEntry},
+			},
+		}
+		if name == "" || parent == 0 {
+			return []txn.Piece{attrPiece}, nil // root: attribute row only
+		}
+		pAcc := db.shardFor(parent)
+		accKey := types.Key{Pid: parent, Name: name}
+		accRow, ok := pAcc.Shard.Get(accKey)
+		if !ok {
+			return nil, fmt.Errorf("setperm %d/%s: %w", parent, name, types.ErrNotFound)
+		}
+		if accRow.Entry.Kind != types.KindDir {
+			return nil, fmt.Errorf("setperm %d/%s: %w", parent, name, types.ErrNotDir)
+		}
+		accEntry := accRow.Entry
+		accEntry.Perm = perm
+		accPiece := txn.Piece{
+			P: pAcc,
+			Guards: []storage.Guard{{
+				Key: accKey, Kind: storage.GuardVersion, Version: accRow.Version,
+			}},
+			Muts: []storage.Mutation{
+				{Kind: storage.MutPut, Key: accKey, Entry: accEntry},
+			},
+		}
+		if pAcc == pDir {
+			accPiece.Guards = append(accPiece.Guards, attrPiece.Guards...)
+			accPiece.Muts = append(accPiece.Muts, attrPiece.Muts...)
+			return []txn.Piece{accPiece}, nil
+		}
+		return []txn.Piece{accPiece, attrPiece}, nil
+	})
+}
+
 // BulkInsert loads entries directly into the shards without transactions
 // or RPC charging — the mdtest-style population step used to build
 // billion-scale (scaled-down) namespaces before experiments.

@@ -98,6 +98,18 @@ const (
 	DeltaAlways
 )
 
+// ReplSink receives every committed mutation batch for asynchronous
+// site-to-site replication (internal/repl.Source satisfies it). Commit
+// is invoked under the shard mutex in commit order; implementations
+// must be fast and must never call back into the DB. StampTxn/ForgetTxn
+// bracket cross-shard transactions so all pieces of one 2PC share a
+// single timestamp and are recognisable as an atomic group downstream.
+type ReplSink interface {
+	StampTxn(txnID string, pieces int)
+	ForgetTxn(txnID string)
+	Commit(shard int, seq uint64, txnID string, muts []storage.Mutation)
+}
+
 // Config parameterises a DB.
 type Config struct {
 	// Shards is the number of storage shards (the paper deploys 18 TafDB
@@ -137,6 +149,9 @@ type Config struct {
 	// Batch2PCMax bounds transactions folded into one shared round
 	// (default 64).
 	Batch2PCMax int
+	// Repl, when non-nil, receives every committed mutation batch — the
+	// feed for asynchronous site replication.
+	Repl ReplSink
 	// MaxRetries bounds transaction retries per operation.
 	MaxRetries int
 	// RetryBase/RetryMax shape the retry backoff.
@@ -239,6 +254,12 @@ func New(cfg Config) *DB {
 			w := storage.NewWAL(cfg.WALSyncCost)
 			w.SetGroupCommit(!cfg.WALNoGroupCommit)
 			shard.AttachWAL(w)
+		}
+		if cfg.Repl != nil {
+			si := i
+			shard.SetReplHook(func(seq uint64, txnID string, muts []storage.Mutation) {
+				cfg.Repl.Commit(si, seq, txnID, muts)
+			})
 		}
 		db.parts = append(db.parts, &txn.Participant{
 			Shard: shard,
@@ -542,22 +563,37 @@ func (db *DB) runTxn(op *rpc.Op, contendedDir types.InodeID, build func(attempt 
 	op = op.WithContext(ctx)
 	db.dirHeat.Record(contendedDir)
 	start := time.Now()
+	id := db.newTxnID()
 	wrapped := func(attempt int) ([]txn.Piece, error) {
 		if attempt > 0 {
 			db.noteConflict(contendedDir)
 			sp.Annotate("retry", "%d", attempt)
+			if db.cfg.Repl != nil {
+				// The previous attempt aborted; drop its stamp.
+				db.cfg.Repl.ForgetTxn(fmt.Sprintf("%s#%d", id, attempt-1))
+			}
 		}
 		pieces, err := build(attempt)
 		if err == nil {
 			db.notePieces(pieces)
+			if db.cfg.Repl != nil && len(pieces) > 1 {
+				// Pre-register the cross-shard group before the 2PC
+				// rounds run, so all pieces share one HLC in the oplog.
+				db.cfg.Repl.StampTxn(fmt.Sprintf("%s#%d", id, attempt), len(pieces))
+			}
 		}
 		return pieces, err
 	}
 	if db.cfg.Batch2PC {
 		sp.SetAttr("2pc", "batched")
 	}
-	retries, err := txn.RunnerWithRetry(gatedRunner{db}, op, db.newTxnID(), db.cfg.MaxRetries,
+	retries, err := txn.RunnerWithRetry(gatedRunner{db}, op, id, db.cfg.MaxRetries,
 		db.cfg.RetryBase, db.cfg.RetryMax, wrapped)
+	if db.cfg.Repl != nil {
+		// Committed stamps were consumed piece by piece; this clears the
+		// stamp of a final failed/aborted attempt. No-op otherwise.
+		db.cfg.Repl.ForgetTxn(fmt.Sprintf("%s#%d", id, retries))
+	}
 	db.txnLat.Observe(time.Since(start))
 	sp.End()
 	return retries, err
@@ -598,6 +634,43 @@ func (db *DB) CrashShard(i int) {
 // RecoverShard replays shard i's WAL, returning mutations replayed.
 func (db *DB) RecoverShard(i int) int {
 	return db.parts[i%len(db.parts)].Shard.Recover()
+}
+
+// SnapshotShard captures a consistent cut of shard i: every row plus
+// the commit sequence the cut covers. Replication resumes from seq+1
+// after the rows are loaded on the secondary (snapshot bootstrap).
+func (db *DB) SnapshotShard(i int) ([]storage.Row, uint64) {
+	return db.parts[i%len(db.parts)].Shard.SnapshotRows()
+}
+
+// ApplyToShard lands a replicated mutation batch directly on shard i's
+// store, bypassing routing and transactions — the secondary-site apply
+// path (the applier has already ordered, grouped, and LWW-filtered the
+// batch). The apply is logged and charged like a local relaxed apply.
+func (db *DB) ApplyToShard(i int, muts []storage.Mutation) error {
+	p := db.parts[i%len(db.parts)]
+	return p.Node.Exec(p.Cost, func() error {
+		return p.Shard.Apply(muts)
+	})
+}
+
+// CurrentSeqs returns every shard's current commit sequence — the
+// primary-side replication tip vector.
+func (db *DB) CurrentSeqs() []uint64 {
+	out := make([]uint64, len(db.parts))
+	for i, p := range db.parts {
+		out[i] = p.Shard.CurrentSeq()
+	}
+	return out
+}
+
+// ReplayShard iterates shard i's WAL batches in commit order — the
+// durable ground truth fsck cross-checks the replication oplog against.
+// A no-op when the WAL is disabled.
+func (db *DB) ReplayShard(i int, fn func(seq uint64, muts []storage.Mutation)) {
+	if w := db.parts[i%len(db.parts)].Shard.WAL(); w != nil {
+		w.ReplayBatches(fn)
+	}
 }
 
 // ForEachRow visits every MetaTable row on every shard (diagnostics,

@@ -102,8 +102,10 @@ type Cluster struct {
 	m *core.Mantle
 }
 
-// New starts a deployment.
-func New(cfg Config) (*Cluster, error) {
+// coreConfig maps the public Config onto the internal per-site
+// configuration. The Fabric field is left nil: single-site New installs
+// one fabric, while the DR constructor gives each site its own.
+func coreConfig(cfg Config) (core.Config, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 4
 	}
@@ -122,10 +124,9 @@ func New(cfg Config) (*Cluster, error) {
 	case "off":
 		delta = tafdb.DeltaOff
 	default:
-		return nil, fmt.Errorf("mantle: unknown DeltaRecords mode %q", cfg.DeltaRecords)
+		return core.Config{}, fmt.Errorf("mantle: unknown DeltaRecords mode %q", cfg.DeltaRecords)
 	}
-	m, err := core.New(core.Config{
-		Fabric:     netsim.NewFabric(netsim.Config{RTT: cfg.RTT, Precise: cfg.PreciseRTT}),
+	return core.Config{
 		ProxyCache: cfg.ProxyCache,
 		TafDB: tafdb.Config{
 			Shards:           cfg.Shards,
@@ -146,7 +147,17 @@ func New(cfg Config) (*Cluster, error) {
 			Hotspot:      cfg.Hotspot,
 			HotThreshold: cfg.HotThreshold,
 		},
-	})
+	}, nil
+}
+
+// New starts a deployment.
+func New(cfg Config) (*Cluster, error) {
+	cc, err := coreConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cc.Fabric = netsim.NewFabric(netsim.Config{RTT: cfg.RTT, Precise: cfg.PreciseRTT})
+	m, err := core.New(cc)
 	if err != nil {
 		return nil, err
 	}
